@@ -1,0 +1,221 @@
+package flattree_test
+
+// Benchmarks: one per paper table and figure, plus one per ablation, each
+// regenerating its artifact at reduced scale per iteration. These are the
+// `go test -bench=.` targets referenced by DESIGN.md's per-experiment
+// index; cmd/benchtables prints the actual tables, and -full on
+// cmd/flatsim runs paper scale.
+
+import (
+	"testing"
+
+	"flattree"
+	"flattree/internal/core"
+	"flattree/internal/experiments"
+	"flattree/internal/traffic"
+)
+
+// benchConfig keeps per-iteration cost bounded on one core.
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 1, Epsilon: 0.35}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	cfg := benchConfig()
+	params := experiments.Table1Params{
+		Clos:         experiments.MiniTable2()[1], // 64 servers
+		ClusterSizes: []int{2, 12, 48},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Table1With(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	cfg := benchConfig()
+	cases := []experiments.Fig6Case{{Topology: "mini-2", Mode: core.ModeGlobal}}
+	methods := []experiments.Method{experiments.LPMin, experiments.LPAvg, experiments.MPTCP8}
+	patterns := []traffic.SyntheticPattern{traffic.PatternPermutation, traffic.PatternManyToMany}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Fig6With(cases, methods, patterns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	// Figure 7 shares Figure 6's machinery: per-flow distributions of
+	// MPTCP vs the LP bounds on one pattern.
+	cfg := benchConfig()
+	cases := []experiments.Fig6Case{{Topology: "mini-2", Mode: core.ModeGlobal}}
+	methods := []experiments.Method{experiments.LPMin, experiments.LPAvg, experiments.MPTCP8}
+	patterns := []traffic.SyntheticPattern{traffic.PatternPodStride}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Fig6With(cases, methods, patterns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Fig8With([]string{"cache"},
+			[]experiments.Fig8Network{experiments.FTGlobal, experiments.FTClosKSP}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRules(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Rules(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProps(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Props(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWiring(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.AblationWiring(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationProfile(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.AblationProfile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSideWiring(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.AblationSideWiring(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationK(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.AblationK(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvert measures a bare topology conversion on the testbed
+// network through the public API — the control-plane hot path.
+func BenchmarkConvert(b *testing.B) {
+	nw, err := flattree.NewNetwork(flattree.Example(), flattree.Options{N: 1, M: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []flattree.Mode{flattree.ModeGlobal, flattree.ModeLocal, flattree.ModeClos}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.Convert(modes[i%len(modes)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHybridPlacement(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.HybridPlacement(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFailures(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.AblationFailures(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPacket(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.AblationPacket(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGradual(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.AblationGradual(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command benchtables regenerates every table and figure of the paper in
+// one run, printing paper-style output for each, plus the ablation studies.
+// This is the one-shot reproduction harness; see EXPERIMENTS.md for the
+// recorded paper-versus-measured comparison.
+//
+// Usage:
+//
+//	benchtables            # reduced scale, all experiments (minutes)
+//	benchtables -full      # paper scale (hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flattree/internal/experiments"
+)
+
+func main() {
+	var (
+		full    = flag.Bool("full", false, "paper-scale topologies (slow)")
+		seed    = flag.Int64("seed", 1, "seed for all stochastic components")
+		epsilon = flag.Float64("epsilon", 0.25, "LP approximation accuracy")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Full: *full, Seed: *seed, Epsilon: *epsilon}
+
+	order := []string{
+		"table1", "table2", "fig5", "fig6", "fig7", "fig8",
+		"fig10", "table3", "fig11", "rules", "props", "cost", "hybrid-placement",
+		"ablation-wiring", "ablation-profile", "ablation-sidewiring", "ablation-k",
+		"ablation-failures", "ablation-packet", "ablation-packet-fct", "ablation-gradual",
+	}
+	failures := 0
+	grand := time.Now()
+	for _, name := range order {
+		start := time.Now()
+		res, err := experiments.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %s failed: %v\n", name, err)
+			failures++
+			continue
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Printf("all experiments done in %v, %d failures\n", time.Since(grand).Round(time.Second), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Command flatsim runs any experiment of the flat-tree reproduction by ID
+// (DESIGN.md's per-experiment index) and prints the paper-style table.
+//
+// Usage:
+//
+//	flatsim -exp table1                # reduced scale (default)
+//	flatsim -exp fig8 -full            # paper scale (slow)
+//	flatsim -exp all                   # every experiment in sequence
+//	flatsim -list                      # show experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"flattree/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment ID to run (or 'all')")
+		full    = flag.Bool("full", false, "run at paper scale (topo-1..6, k=16 fat-tree); slow")
+		seed    = flag.Int64("seed", 1, "seed for all stochastic components")
+		epsilon = flag.Float64("epsilon", 0.25, "LP approximation accuracy (smaller = tighter, slower)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		csvDir  = flag.String("csv", "", "also write figure series as CSV files into this directory (fig8, fig10)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "flatsim: -exp required (use -list to see experiments)")
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Full: *full, Seed: *seed, Epsilon: *epsilon}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		var res experiments.Result
+		var err error
+		if *csvDir != "" {
+			res, err = experiments.RunWithCSV(name, cfg, *csvDir)
+		} else {
+			res, err = experiments.Run(name, cfg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flatsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

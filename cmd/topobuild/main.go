@@ -1,0 +1,157 @@
+// Command topobuild constructs a topology and reports its structure:
+// switch/server counts, degrees, average path length, diameter, per-core
+// link census, and (optionally) the full link list.
+//
+// Usage:
+//
+//	topobuild -base topo-1 -mode global
+//	topobuild -base example -mode clos -links
+//	topobuild -base topo-2 -mode local -pattern 2
+//	topobuild -kind rg -base topo-1          # random graph from topo-1 equipment
+//	topobuild -kind 2stage -base topo-1      # two-stage random graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"flattree/internal/core"
+	"flattree/internal/metrics"
+	"flattree/internal/routing"
+	"flattree/internal/topo"
+)
+
+func main() {
+	var (
+		base    = flag.String("base", "example", "base Clos: example, topo-1..topo-6, or fat-tree-K")
+		kind    = flag.String("kind", "flattree", "network kind: flattree, clos, rg, 2stage")
+		mode    = flag.String("mode", "clos", "flat-tree mode: clos, local, global")
+		pattern = flag.Int("pattern", 1, "pod-core wiring pattern (1 or 2)")
+		n       = flag.Int("n", 0, "4-port converters per pair (0 = auto)")
+		m       = flag.Int("m", 0, "6-port converters per pair (0 = auto)")
+		seed    = flag.Int64("seed", 1, "seed for random constructions")
+		links   = flag.Bool("links", false, "dump the full link list")
+		dot     = flag.String("dot", "", "write a Graphviz DOT rendering to this file")
+		jsonOut = flag.String("json", "", "write a JSON serialization to this file")
+	)
+	flag.Parse()
+
+	cp, err := baseParams(*base)
+	if err != nil {
+		fail(err)
+	}
+	t, err := build(cp, *kind, *mode, *pattern, *n, *m, *seed)
+	if err != nil {
+		fail(err)
+	}
+	report(t, *links)
+	if *dot != "" {
+		if err := writeFile(*dot, t.WriteDOT); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *dot)
+	}
+	if *jsonOut != "" {
+		if err := writeFile(*jsonOut, t.WriteJSON); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+}
+
+// writeFile streams one of the topology encoders into a file.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func baseParams(name string) (topo.ClosParams, error) {
+	if name == "example" {
+		return core.ExampleClos(), nil
+	}
+	if p, err := topo.Table2ByName(name); err == nil {
+		return p, nil
+	}
+	var k int
+	if _, err := fmt.Sscanf(name, "fat-tree-%d", &k); err == nil && k >= 4 && k%2 == 0 {
+		return topo.FatTree(k), nil
+	}
+	return topo.ClosParams{}, fmt.Errorf("unknown base %q", name)
+}
+
+func build(cp topo.ClosParams, kind, mode string, pattern, n, m int, seed int64) (*topo.Topology, error) {
+	switch kind {
+	case "clos":
+		return topo.BuildClos(cp)
+	case "rg":
+		p := topo.FromClosEquipment(cp)
+		p.Seed = seed
+		return topo.BuildRandomGraph(p)
+	case "2stage":
+		return topo.BuildTwoStageRandomGraph(topo.TwoStageParams{Name: cp.Name + "-2stage", Clos: cp, Seed: seed})
+	case "flattree":
+		opt := core.Options{N: n, M: m, Pattern: core.Pattern(pattern)}
+		if n == 0 && m == 0 {
+			g := cp.AggUplinks / cp.R()
+			opt.N, opt.M = 1, g-1
+			if opt.M < 1 {
+				opt.M = 1
+				opt.N = 0
+			}
+		}
+		nw, err := core.New(cp, opt)
+		if err != nil {
+			return nil, err
+		}
+		md, err := core.ParseMode(mode)
+		if err != nil {
+			return nil, err
+		}
+		nw.SetMode(md)
+		r := nw.Realize()
+		return r.Topo, nil
+	}
+	return nil, fmt.Errorf("unknown kind %q", kind)
+}
+
+func report(t *topo.Topology, dumpLinks bool) {
+	if err := t.Validate(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("topology %s\n", t.Name)
+	tb := &metrics.Table{Header: []string{"metric", "value"}}
+	tb.Add("edge switches", len(t.Edges()))
+	tb.Add("agg switches", len(t.Aggs()))
+	tb.Add("core switches", len(t.Cores()))
+	tb.Add("servers", len(t.Servers()))
+	tb.Add("links", t.G.NumLinks())
+	tb.Add("pods", t.NumPods())
+	table := routing.BuildKShortest(t, 1)
+	tb.Add("ingress switches", len(table.Ingress))
+	tb.Add("avg path length (switch hops)", table.AveragePathLength())
+	tb.Add("diameter (ingress)", t.G.Diameter(table.Ingress))
+	fmt.Print(tb.String())
+
+	if dumpLinks {
+		fmt.Println("\nlinks:")
+		for _, l := range t.G.Links() {
+			na, nb := t.Nodes[l.A], t.Nodes[l.B]
+			fmt.Printf("  %4d: %s#%d (pod %d) -- %s#%d (pod %d)\n",
+				l.ID, na.Kind, na.Index, na.Pod, nb.Kind, nb.Index, nb.Pod)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "topobuild:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+package flattree_test
+
+import (
+	"fmt"
+
+	"flattree"
+)
+
+// ExampleNewNetwork builds the paper's Figure 2 network and converts it to
+// global mode, showing where the servers end up.
+func ExampleNewNetwork() {
+	nw, err := flattree.NewNetwork(flattree.Example(), flattree.Options{N: 1, M: 1})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := nw.Convert(flattree.ModeGlobal); err != nil {
+		panic(err)
+	}
+	t := nw.Topology()
+	counts := map[string]int{}
+	for _, s := range t.Servers() {
+		counts[t.Nodes[t.AttachedSwitch(s)].Kind.String()]++
+	}
+	fmt.Printf("edge=%d agg=%d core=%d\n", counts["edge"], counts["agg"], counts["core"])
+	// Output: edge=8 agg=8 core=8
+}
+
+// ExampleNetwork_ConvertPods runs the network in hybrid mode, one zone per
+// topology (§3.5).
+func ExampleNetwork_ConvertPods() {
+	nw, err := flattree.NewNetwork(flattree.Example(), flattree.Options{N: 1, M: 1})
+	if err != nil {
+		panic(err)
+	}
+	modes := []flattree.Mode{flattree.ModeGlobal, flattree.ModeGlobal, flattree.ModeLocal, flattree.ModeClos}
+	if _, err := nw.ConvertPods(modes); err != nil {
+		panic(err)
+	}
+	_, uniform := nw.Mode()
+	fmt.Println("uniform:", uniform)
+	fmt.Println("pods:", nw.PodModes())
+	// Output:
+	// uniform: false
+	// pods: [global global local clos]
+}
+
+// ExampleNetwork_Routes looks up the k-shortest paths between two servers.
+func ExampleNetwork_Routes() {
+	nw, err := flattree.NewNetwork(flattree.Example(), flattree.Options{N: 1, M: 1})
+	if err != nil {
+		panic(err)
+	}
+	servers := nw.Servers()
+	paths := nw.Routes().ServerPaths(servers[0], servers[23])
+	fmt.Println("paths:", len(paths))
+	fmt.Println("shortest hops:", paths[0].Len())
+	// Output:
+	// paths: 4
+	// shortest hops: 6
+}
+
+// ExampleTable2 lists the paper's evaluation topologies.
+func ExampleTable2() {
+	for _, p := range flattree.Table2() {
+		fmt.Printf("%s: %d servers\n", p.Name, p.TotalServers())
+	}
+	// Output:
+	// topo-1: 4096 servers
+	// topo-2: 1728 servers
+	// topo-3: 8192 servers
+	// topo-4: 4096 servers
+	// topo-5: 4096 servers
+	// topo-6: 4096 servers
+}

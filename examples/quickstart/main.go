@@ -1,0 +1,53 @@
+// Quickstart: build the paper's example flat-tree network (Figure 2),
+// convert it between its three modes at run time, and inspect what changes
+// — server placement, path lengths, rule counts, and conversion latency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flattree"
+)
+
+func main() {
+	// The Figure 2 network: 4 pods, 20 switches, 24 servers, one 4-port
+	// and one 6-port converter switch per edge-aggregation pair.
+	nw, err := flattree.NewNetwork(flattree.Example(), flattree.Options{N: 1, M: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, mode := range []flattree.Mode{flattree.ModeClos, flattree.ModeLocal, flattree.ModeGlobal} {
+		rep, err := nw.Convert(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := nw.Topology()
+		// Where do servers live now?
+		onEdge, onAgg, onCore := 0, 0, 0
+		for _, s := range t.Servers() {
+			switch sw := t.AttachedSwitch(s); t.Nodes[sw].Kind.String() {
+			case "edge":
+				onEdge++
+			case "agg":
+				onAgg++
+			case "core":
+				onCore++
+			}
+		}
+		fmt.Printf("== %s mode ==\n", mode)
+		fmt.Printf("  servers on edge/agg/core: %d/%d/%d\n", onEdge, onAgg, onCore)
+		fmt.Printf("  avg path length: %.2f switch hops\n", nw.Routes().AveragePathLength())
+		fmt.Printf("  max rules per switch: %d\n", nw.MaxRulesPerSwitch())
+		fmt.Printf("  conversion: %d converters reconfigured, %.0f ms total\n\n",
+			rep.ConvertersReconfigured, rep.Total*1000)
+	}
+
+	// Hybrid operation: different zones for different workloads.
+	modes := []flattree.Mode{flattree.ModeGlobal, flattree.ModeGlobal, flattree.ModeLocal, flattree.ModeClos}
+	if _, err := nw.ConvertPods(modes); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hybrid pod modes: %v\n", nw.PodModes())
+}

@@ -1,0 +1,50 @@
+// Testbedrun: the Figure 10 experiment on the emulated 20-switch/24-server
+// testbed — persistent iPerf traffic to pod counterparts while the topology
+// converts Clos -> global -> local, printing the core-bandwidth timeline
+// as an ASCII strip chart.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"flattree/internal/core"
+	"flattree/internal/testbed"
+)
+
+func main() {
+	tb, err := testbed.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	schedule := []testbed.ScheduleEntry{
+		{At: 20, Mode: core.ModeGlobal},
+		{At: 40, Mode: core.ModeLocal},
+	}
+	samples, events, err := tb.RunIPerf(schedule, 60, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Strip chart: one row per 2 seconds, bar proportional to bandwidth.
+	maxBW := 0.0
+	for _, s := range samples {
+		if s.CoreBandwidth > maxBW {
+			maxBW = s.CoreBandwidth
+		}
+	}
+	fmt.Println("t(s)   core bandwidth (Gbps)")
+	for i := 0; i < len(samples); i += 4 {
+		s := samples[i]
+		bar := int(s.CoreBandwidth / maxBW * 50)
+		fmt.Printf("%5.1f  %-50s %6.1f\n", s.T, strings.Repeat("#", bar), s.CoreBandwidth)
+	}
+	fmt.Println()
+	for _, e := range events {
+		to := e.Report.To[0]
+		fmt.Printf("conversion at t=%.0fs to %-6s: OCS %.0f ms + delete %.0f ms + add %.0f ms = %.0f ms; traffic back to max by t=%.1fs\n",
+			e.At, to, e.Report.OCSTime*1000, e.Report.DeleteTime*1000,
+			e.Report.AddTime*1000, e.Report.Total*1000, e.RecoverAt)
+	}
+}

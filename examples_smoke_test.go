@@ -1,0 +1,122 @@
+package flattree_test
+
+// Smoke tests for the runnable examples: each is executed end-to-end via
+// the Go toolchain and checked for the output markers that prove it did
+// real work. These keep the examples from rotting as the library evolves.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runExample(t *testing.T, dir string) string {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./examples/"+dir)
+	cmd.Dir = "."
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(180 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("example %s timed out", dir)
+	}
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	out := runExample(t, "quickstart")
+	for _, want := range []string{
+		"clos mode", "local mode", "global mode",
+		"servers on edge/agg/core: 24/0/0",
+		"servers on edge/agg/core: 8/8/8",
+		"hybrid pod modes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleTrafficstudy(t *testing.T) {
+	out := runExample(t, "trafficstudy")
+	for _, want := range []string{"median FCT", "global", "local", "clos"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trafficstudy output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleTestbedrun(t *testing.T) {
+	out := runExample(t, "testbedrun")
+	for _, want := range []string{"core bandwidth", "conversion at t=20s", "conversion at t=40s", "OCS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("testbedrun output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleHybrid(t *testing.T) {
+	out := runExample(t, "hybrid")
+	for _, want := range []string{"matched", "mismatched", "tenant A", "tenant B"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("hybrid output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleMultistage(t *testing.T) {
+	out := runExample(t, "multistage")
+	for _, want := range []string{"two-stage flat-tree", "true core", "recursive flattening"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("multistage output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func runCommand(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v failed: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestFlatsimCLI(t *testing.T) {
+	out := runCommand(t, "./cmd/flatsim", "-exp", "fig5")
+	if !strings.Contains(out, "10.0.24.2") {
+		t.Fatalf("flatsim fig5 output wrong:\n%s", out)
+	}
+	list := runCommand(t, "./cmd/flatsim", "-list")
+	for _, want := range []string{"table1", "fig8", "ablation-packet", "cost", "hybrid-placement"} {
+		if !strings.Contains(list, want) {
+			t.Fatalf("flatsim -list missing %q:\n%s", want, list)
+		}
+	}
+}
+
+func TestTopobuildCLI(t *testing.T) {
+	out := runCommand(t, "./cmd/topobuild", "-base", "example", "-mode", "global")
+	for _, want := range []string{"edge switches", "servers", "avg path length"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("topobuild output missing %q:\n%s", want, out)
+		}
+	}
+	rg := runCommand(t, "./cmd/topobuild", "-kind", "rg", "-base", "fat-tree-4")
+	if !strings.Contains(rg, "links") {
+		t.Fatalf("topobuild rg output wrong:\n%s", rg)
+	}
+}

@@ -1,0 +1,70 @@
+package flattree_test
+
+import (
+	"testing"
+
+	"flattree"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	nw, err := flattree.NewNetwork(flattree.Example(), flattree.Options{N: 1, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := nw.Mode(); !ok || m != flattree.ModeClos {
+		t.Fatalf("initial mode %v ok=%v", m, ok)
+	}
+	rep, err := nw.Convert(flattree.ModeGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConvertersReconfigured == 0 || rep.Total <= 0 {
+		t.Fatalf("empty conversion report: %+v", rep)
+	}
+	tp := nw.Topology()
+	if got := len(tp.Servers()); got != 24 {
+		t.Fatalf("servers = %d, want 24", got)
+	}
+	servers := nw.Servers()
+	paths := nw.Routes().ServerPaths(servers[0], servers[12])
+	if len(paths) == 0 {
+		t.Fatal("no routes between servers")
+	}
+	if nw.MaxRulesPerSwitch() <= 0 {
+		t.Fatal("no rules installed")
+	}
+	if nw.Clos().TotalServers() != 24 {
+		t.Fatal("Clos params lost")
+	}
+}
+
+func TestPublicAPIHybrid(t *testing.T) {
+	nw, err := flattree.NewNetworkK(flattree.Example(), flattree.Options{N: 1, M: 1},
+		map[flattree.Mode]int{flattree.ModeGlobal: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := []flattree.Mode{flattree.ModeGlobal, flattree.ModeGlobal, flattree.ModeClos, flattree.ModeLocal}
+	if _, err := nw.ConvertPods(modes); err != nil {
+		t.Fatal(err)
+	}
+	if _, uniform := nw.Mode(); uniform {
+		t.Fatal("hybrid network reported uniform")
+	}
+	got := nw.PodModes()
+	for i := range modes {
+		if got[i] != modes[i] {
+			t.Fatalf("pod %d mode %v, want %v", i, got[i], modes[i])
+		}
+	}
+}
+
+func TestTableAndFatTreeConstructors(t *testing.T) {
+	if got := len(flattree.Table2()); got != 6 {
+		t.Fatalf("Table2 = %d topologies", got)
+	}
+	ft := flattree.FatTree(8)
+	if ft.TotalServers() != 128 {
+		t.Fatalf("fat-tree k=8 servers = %d", ft.TotalServers())
+	}
+}

@@ -1,0 +1,312 @@
+// Package control implements the flat-tree control system of §4: a
+// logically centralized controller that owns the converter switch
+// configurations, converts the topology between modes, recomputes
+// k-shortest-path routing, and accounts for the conversion delay — the OCS
+// reconfiguration plus OpenFlow rule deletion and installation the testbed
+// measures in Table 3.
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"flattree/internal/core"
+	"flattree/internal/routing"
+)
+
+// DelayModel captures the testbed's conversion latency components. Times
+// are in seconds.
+type DelayModel struct {
+	// OCSReconfig is the flat optical-circuit-switch reconfiguration time
+	// (the testbed's 3D-MEMS OCS takes 160 ms regardless of how many
+	// logical converter partitions change).
+	OCSReconfig float64
+	// PerRuleDelete and PerRuleAdd are per-OpenFlow-rule latencies; the
+	// testbed's legacy switches process roughly a rule per millisecond
+	// and are driven sequentially (§5.3).
+	PerRuleDelete float64
+	PerRuleAdd    float64
+	// Parallel models the §5.3 improvement of configuring switches in
+	// parallel: rule time is then driven by the busiest switch instead of
+	// the total.
+	Parallel bool
+}
+
+// TestbedDelayModel returns the delay constants calibrated to Table 3:
+// with the example network's rule totals (≈1.2k Clos / 4.7k local / 7.2k
+// global across all switches) and ≈0.1 ms per batched rule operation,
+// conversions complete in roughly one second, matching §5.3.
+func TestbedDelayModel() DelayModel {
+	return DelayModel{OCSReconfig: 0.160, PerRuleDelete: 0.000090, PerRuleAdd: 0.000090}
+}
+
+// ConversionReport breaks down one topology conversion (Table 3's rows).
+type ConversionReport struct {
+	From, To []core.Mode
+	// ConvertersReconfigured counts converter switches whose
+	// configuration changed.
+	ConvertersReconfigured int
+	// RulesDeleted and RulesAdded count OpenFlow rules across switches.
+	RulesDeleted, RulesAdded int
+	// OCSTime, DeleteTime, AddTime, Total are the latency components in
+	// seconds (Total = OCS + Delete + Add, sequential as on the testbed).
+	OCSTime, DeleteTime, AddTime, Total float64
+	// RouteComputeTime is the measured wall time spent computing the
+	// k-shortest-path table for the new topology; zero when the table
+	// came from the §4.3 precomputed store ("the paths and the resulting
+	// network states can also be precomputed and stored into a table in
+	// memory to save the computation time"). It is reported separately
+	// and not part of Total, which models only the data-plane update.
+	RouteComputeTime float64
+	// FromCache reports whether the routing state was precomputed.
+	FromCache bool
+}
+
+// Controller manages a flat-tree network's converter switches and routing
+// state.
+type Controller struct {
+	nw    *core.Network
+	delay DelayModel
+	// K is the number of concurrent paths used per mode (§4.2.1 allows a
+	// different k per topology mode).
+	K map[core.Mode]int
+
+	realization *core.Realization
+	table       *routing.Table
+	rules       map[int]int // current per-switch rule count
+	configs     []core.Config
+	// failed masks broken links by endpoint pair (§4.3 failure handling).
+	failed map[[2]int]int
+	// routeCache holds precomputed routing state per uniform mode (§4.3);
+	// invalidated by link failures/repairs.
+	routeCache map[core.Mode]*cachedRoutes
+	// lastCompute and lastFromCache record the most recent reinstall's
+	// route-computation cost for conversion reports.
+	lastCompute   float64
+	lastFromCache bool
+}
+
+// cachedRoutes is one mode's precomputed routing state.
+type cachedRoutes struct {
+	realization *core.Realization
+	table       *routing.Table
+	rules       map[int]int
+}
+
+// NewController initializes the controller in the network's current mode
+// and installs its routing state. kByMode maps each mode to its k; missing
+// modes default to 4.
+func NewController(nw *core.Network, delay DelayModel, kByMode map[core.Mode]int) (*Controller, error) {
+	c := &Controller{nw: nw, delay: delay, K: make(map[core.Mode]int),
+		failed: make(map[[2]int]int), routeCache: make(map[core.Mode]*cachedRoutes)}
+	for _, m := range []core.Mode{core.ModeClos, core.ModeLocal, core.ModeGlobal} {
+		c.K[m] = 4
+		if k, ok := kByMode[m]; ok {
+			if k < 1 {
+				return nil, fmt.Errorf("control: k=%d for mode %v", k, m)
+			}
+			c.K[m] = k
+		}
+	}
+	if err := c.reinstall(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// kForCurrent picks the routing k: the (maximum) k over the pod modes in
+// use, so hybrid networks route with enough path diversity for their most
+// demanding zone.
+func (c *Controller) kForCurrent() int {
+	k := 1
+	for _, m := range c.nw.PodModes() {
+		if c.K[m] > k {
+			k = c.K[m]
+		}
+	}
+	return k
+}
+
+// reinstall realizes the current converter configuration, masks failed
+// links, and rebuilds routing state. It fails when the surviving topology
+// is partitioned.
+func (c *Controller) reinstall() error {
+	c.lastCompute = 0
+	c.lastFromCache = false
+	// Uniform, failure-free modes can come from the precomputed store.
+	if mode, uniform := c.nw.Mode(); uniform && len(c.failed) == 0 {
+		if cached, ok := c.routeCache[mode]; ok {
+			c.realization = cached.realization
+			c.table = cached.table
+			c.rules = cached.rules
+			c.configs = configsOf(c.nw)
+			c.lastFromCache = true
+			return nil
+		}
+	}
+	r := c.nw.Realize()
+	pruned, err := pruneFailures(r.Topo, c.failed)
+	if err != nil {
+		return err
+	}
+	if pruned != r.Topo {
+		degraded := *r
+		degraded.Topo = pruned
+		r = &degraded
+	}
+	c.realization = r
+	start := time.Now()
+	c.table = routing.BuildKShortest(c.realization.Topo, c.kForCurrent())
+	c.lastCompute = time.Since(start).Seconds()
+	c.rules = c.table.PrefixRulesPerSwitch()
+	c.configs = configsOf(c.nw)
+	return nil
+}
+
+// PrecomputeRoutes builds and stores the routing state of every uniform
+// mode ahead of time (§4.3), so later conversions skip the k-shortest-path
+// computation entirely. The cache is dropped on link failures and repairs,
+// which change the graph.
+func (c *Controller) PrecomputeRoutes() error {
+	if len(c.failed) > 0 {
+		return fmt.Errorf("control: cannot precompute with %d failed links", len(c.failed))
+	}
+	saved := c.nw.PodModes()
+	for _, m := range []core.Mode{core.ModeClos, core.ModeLocal, core.ModeGlobal} {
+		c.nw.SetMode(m)
+		r := c.nw.Realize()
+		table := routing.BuildKShortest(r.Topo, c.K[m])
+		c.routeCache[m] = &cachedRoutes{
+			realization: r, table: table, rules: table.PrefixRulesPerSwitch(),
+		}
+	}
+	for pod, m := range saved {
+		if err := c.nw.SetPodMode(pod, m); err != nil {
+			return err
+		}
+	}
+	return c.reinstall()
+}
+
+func configsOf(nw *core.Network) []core.Config {
+	convs := nw.Converters()
+	out := make([]core.Config, len(convs))
+	for i, cv := range convs {
+		out[i] = cv.Config
+	}
+	return out
+}
+
+// Network returns the managed network.
+func (c *Controller) Network() *core.Network { return c.nw }
+
+// Realization returns the currently installed topology.
+func (c *Controller) Realization() *core.Realization { return c.realization }
+
+// Table returns the currently installed route table.
+func (c *Controller) Table() *routing.Table { return c.table }
+
+// RulesPerSwitch returns the installed per-switch rule counts.
+func (c *Controller) RulesPerSwitch() map[int]int {
+	out := make(map[int]int, len(c.rules))
+	for k, v := range c.rules {
+		out[k] = v
+	}
+	return out
+}
+
+// MaxRulesPerSwitch returns the largest per-switch rule count — the §5.3
+// figure of merit (242/180/76 on the testbed).
+func (c *Controller) MaxRulesPerSwitch() int {
+	max := 0
+	for _, v := range c.rules {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Convert switches the whole network to the given mode, returning the
+// delay breakdown.
+func (c *Controller) Convert(mode core.Mode) (*ConversionReport, error) {
+	modes := make([]core.Mode, c.nw.Clos().Pods)
+	for i := range modes {
+		modes[i] = mode
+	}
+	return c.ConvertPods(modes)
+}
+
+// ConvertPods switches per-pod modes (hybrid operation) and returns the
+// delay breakdown.
+func (c *Controller) ConvertPods(modes []core.Mode) (*ConversionReport, error) {
+	if len(modes) != c.nw.Clos().Pods {
+		return nil, fmt.Errorf("control: %d modes for %d pods", len(modes), c.nw.Clos().Pods)
+	}
+	from := c.nw.PodModes()
+	oldConfigs := c.configs
+	oldRules := c.rules
+
+	for pod, m := range modes {
+		if err := c.nw.SetPodMode(pod, m); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.reinstall(); err != nil {
+		// Roll back: the requested modes partition under the recorded
+		// failures; restore the previous configuration.
+		for pod, m := range from {
+			_ = c.nw.SetPodMode(pod, m)
+		}
+		if rerr := c.reinstall(); rerr != nil {
+			return nil, fmt.Errorf("control: conversion failed (%v) and rollback failed (%v)", err, rerr)
+		}
+		return nil, err
+	}
+
+	rep := &ConversionReport{From: from, To: append([]core.Mode(nil), modes...)}
+	for i, cfg := range c.configs {
+		if cfg != oldConfigs[i] {
+			rep.ConvertersReconfigured++
+		}
+	}
+	// Rule churn: the old topology's rules are deleted, the new ones
+	// added (the testbed deletes and reinstalls; unchanged rules between
+	// modes are rare because paths shift with the topology).
+	if c.delay.Parallel {
+		for _, n := range oldRules {
+			if n > rep.RulesDeleted {
+				rep.RulesDeleted = n
+			}
+		}
+		for _, n := range c.rules {
+			if n > rep.RulesAdded {
+				rep.RulesAdded = n
+			}
+		}
+	} else {
+		for _, n := range oldRules {
+			rep.RulesDeleted += n
+		}
+		for _, n := range c.rules {
+			rep.RulesAdded += n
+		}
+	}
+	rep.OCSTime = c.delay.OCSReconfig
+	rep.DeleteTime = float64(rep.RulesDeleted) * c.delay.PerRuleDelete
+	rep.AddTime = float64(rep.RulesAdded) * c.delay.PerRuleAdd
+	rep.Total = rep.OCSTime + rep.DeleteTime + rep.AddTime
+	rep.RouteComputeTime = c.lastCompute
+	rep.FromCache = c.lastFromCache
+	return rep, nil
+}
+
+// ShardEstimate models the distributed-controller option of §4.3: with the
+// state distribution spread over nControllers, the rule install time
+// shrinks proportionally (path computation parallelizes trivially).
+func (c *Controller) ShardEstimate(rep *ConversionReport, nControllers int) float64 {
+	if nControllers < 1 {
+		nControllers = 1
+	}
+	return rep.OCSTime + (rep.DeleteTime+rep.AddTime)/float64(nControllers)
+}

@@ -1,0 +1,398 @@
+package control
+
+import (
+	"testing"
+
+	"flattree/internal/core"
+)
+
+func exampleController(t *testing.T) *Controller {
+	t.Helper()
+	nw, err := core.ExampleNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(nw, TestbedDelayModel(), map[core.Mode]int{
+		core.ModeClos: 4, core.ModeLocal: 4, core.ModeGlobal: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestControllerInitialState(t *testing.T) {
+	c := exampleController(t)
+	if c.Realization() == nil || c.Table() == nil {
+		t.Fatal("controller missing state")
+	}
+	if got, uniform := c.Network().Mode(); !uniform || got != core.ModeClos {
+		t.Fatalf("initial mode = %v (uniform=%v), want clos", got, uniform)
+	}
+	if c.MaxRulesPerSwitch() <= 0 {
+		t.Fatal("no rules installed")
+	}
+}
+
+func TestConvertReportsDelays(t *testing.T) {
+	c := exampleController(t)
+	rep, err := c.Convert(core.ModeGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConvertersReconfigured == 0 {
+		t.Fatal("no converters reconfigured on Clos->global")
+	}
+	// All 16 converters change: 8 four-port default->local, 8 six-port
+	// default->side/cross.
+	if rep.ConvertersReconfigured != 16 {
+		t.Fatalf("reconfigured = %d, want 16", rep.ConvertersReconfigured)
+	}
+	if rep.RulesDeleted <= 0 || rep.RulesAdded <= 0 {
+		t.Fatalf("rule churn: %d deleted, %d added", rep.RulesDeleted, rep.RulesAdded)
+	}
+	if rep.OCSTime != 0.160 {
+		t.Fatalf("OCS time = %v", rep.OCSTime)
+	}
+	if rep.Total != rep.OCSTime+rep.DeleteTime+rep.AddTime {
+		t.Fatal("total is not the sequential sum")
+	}
+	// Conversion should finish in roughly a second on the testbed scale
+	// ("the network topology can be converted in roughly 1s", §5.3).
+	if rep.Total < 0.2 || rep.Total > 3.0 {
+		t.Fatalf("total conversion delay = %vs, outside plausible testbed range", rep.Total)
+	}
+}
+
+func TestConvertNoChangeIsCheap(t *testing.T) {
+	c := exampleController(t)
+	rep, err := c.Convert(core.ModeClos) // already in Clos
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConvertersReconfigured != 0 {
+		t.Fatalf("reconfigured = %d converting to same mode", rep.ConvertersReconfigured)
+	}
+}
+
+func TestRuleCountsOrderAcrossModes(t *testing.T) {
+	// §5.3: max rules per switch differ per topology (242/180/76 on the
+	// testbed) because the number of ingress/egress switches differs:
+	// global (20 ingress) > local (16) > Clos (8). Verify the ordering.
+	c := exampleController(t)
+	counts := map[core.Mode]int{}
+	ingress := map[core.Mode]int{}
+	for _, m := range []core.Mode{core.ModeGlobal, core.ModeLocal, core.ModeClos} {
+		if _, err := c.Convert(m); err != nil {
+			t.Fatal(err)
+		}
+		counts[m] = c.MaxRulesPerSwitch()
+		ingress[m] = len(c.Table().Ingress)
+	}
+	if ingress[core.ModeGlobal] != 20 || ingress[core.ModeClos] != 8 {
+		t.Fatalf("ingress counts = %v", ingress)
+	}
+	if ingress[core.ModeLocal] != 16 {
+		t.Fatalf("local ingress = %d, want 16 (8 edges + 8 aggs)", ingress[core.ModeLocal])
+	}
+	if !(counts[core.ModeGlobal] > counts[core.ModeLocal] && counts[core.ModeLocal] > counts[core.ModeClos]) {
+		t.Fatalf("rule ordering violated: %v", counts)
+	}
+}
+
+func TestConvertPodsHybrid(t *testing.T) {
+	c := exampleController(t)
+	modes := []core.Mode{core.ModeGlobal, core.ModeGlobal, core.ModeLocal, core.ModeClos}
+	rep, err := c.ConvertPods(modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConvertersReconfigured == 0 {
+		t.Fatal("hybrid conversion reconfigured nothing")
+	}
+	got := c.Network().PodModes()
+	for i, m := range modes {
+		if got[i] != m {
+			t.Fatalf("pod %d mode = %v, want %v", i, got[i], m)
+		}
+	}
+	if _, err := c.ConvertPods([]core.Mode{core.ModeClos}); err == nil {
+		t.Fatal("wrong mode count accepted")
+	}
+}
+
+func TestParallelDelayModel(t *testing.T) {
+	nw, err := core.ExampleNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := TestbedDelayModel()
+	dm.Parallel = true
+	c, err := NewController(nw, dm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repPar, err := c.Convert(core.ModeGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential baseline for the same conversion.
+	nw2, _ := core.ExampleNetwork()
+	c2, _ := NewController(nw2, TestbedDelayModel(), nil)
+	repSeq, err := c2.Convert(core.ModeGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repPar.Total >= repSeq.Total {
+		t.Fatalf("parallel conversion (%v) not faster than sequential (%v)", repPar.Total, repSeq.Total)
+	}
+}
+
+func TestShardEstimate(t *testing.T) {
+	c := exampleController(t)
+	rep, _ := c.Convert(core.ModeGlobal)
+	one := c.ShardEstimate(rep, 1)
+	four := c.ShardEstimate(rep, 4)
+	if four >= one {
+		t.Fatalf("sharding did not reduce delay: %v vs %v", four, one)
+	}
+	if four < rep.OCSTime {
+		t.Fatal("sharded delay below the OCS floor")
+	}
+	if got := c.ShardEstimate(rep, 0); got != one {
+		t.Fatal("nControllers<1 not clamped")
+	}
+}
+
+func TestBadK(t *testing.T) {
+	nw, _ := core.ExampleNetwork()
+	if _, err := NewController(nw, TestbedDelayModel(), map[core.Mode]int{core.ModeClos: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestFailAndRepairLink(t *testing.T) {
+	c := exampleController(t)
+	if _, err := c.Convert(core.ModeGlobal); err != nil {
+		t.Fatal(err)
+	}
+	// Fail one core-facing link: pick a switch-switch link.
+	tp := c.Realization().Topo
+	var a, b int
+	found := false
+	for _, l := range tp.G.Links() {
+		na, nb := tp.Nodes[l.A], tp.Nodes[l.B]
+		if na.Kind != 0 && nb.Kind != 0 { // not servers
+			a, b = l.A, l.B
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no switch link found")
+	}
+	linksBefore := tp.G.NumLinks()
+	if err := c.FailLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Realization().Topo.G.NumLinks(); got != linksBefore-1 {
+		t.Fatalf("links after failure = %d, want %d", got, linksBefore-1)
+	}
+	if len(c.FailedLinks()) != 1 {
+		t.Fatalf("failed links = %v", c.FailedLinks())
+	}
+	// Routing still works on the degraded network.
+	if c.MaxRulesPerSwitch() <= 0 {
+		t.Fatal("no rules after failure")
+	}
+	// The failure persists across a conversion.
+	if _, err := c.Convert(core.ModeClos); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RepairLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.FailedLinks()) != 0 {
+		t.Fatal("failure not cleared by repair")
+	}
+	if err := c.RepairLink(a, b); err == nil {
+		t.Fatal("repairing a healthy link succeeded")
+	}
+}
+
+func TestFailLinkValidation(t *testing.T) {
+	c := exampleController(t)
+	if err := c.FailLink(0, 0); err == nil {
+		t.Fatal("self link failure accepted")
+	}
+	if err := c.FailLink(-1, 2); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	// Failing a nonexistent adjacency errors.
+	tp := c.Realization().Topo
+	s := tp.Servers()
+	if err := c.FailLink(s[0], s[1]); err == nil {
+		t.Fatal("failing a nonexistent link succeeded")
+	}
+}
+
+func TestFailLinkRefusesPartition(t *testing.T) {
+	c := exampleController(t)
+	// Severing a server's only uplink is not a fabric failure; pick a
+	// server uplink indirectly: cut every link between an edge switch and
+	// all its aggs to try to strand it — the controller must refuse the
+	// final cut that partitions the fabric.
+	tp := c.Realization().Topo
+	edge := tp.Edges()[0]
+	var cuts [][2]int
+	for _, id := range tp.G.Incident(edge) {
+		other := tp.G.Link(id).Other(edge)
+		if tp.Nodes[other].Kind != 0 { // a switch
+			cuts = append(cuts, [2]int{edge, other})
+		}
+	}
+	var refused bool
+	for _, cut := range cuts {
+		if err := c.FailLink(cut[0], cut[1]); err != nil {
+			refused = true
+			break
+		}
+	}
+	if !refused {
+		t.Fatal("controller allowed partitioning the edge switch")
+	}
+	// The controller must still be functional after the refusal.
+	if _, err := c.Convert(core.ModeGlobal); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradualConvert(t *testing.T) {
+	c := exampleController(t)
+	steps, err := c.GradualConvert(core.ModeGlobal, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 pods, batch 1 => 4 steps, each converting one pod.
+	if len(steps) != 4 {
+		t.Fatalf("steps = %d, want 4", len(steps))
+	}
+	for i, s := range steps {
+		if len(s.Pods) != 1 || s.Pods[0] != i {
+			t.Fatalf("step %d pods = %v", i, s.Pods)
+		}
+		// Intermediate states are valid hybrids: converted prefix global,
+		// the rest still Clos.
+		for p, m := range s.ModesAfter {
+			want := core.ModeClos
+			if p <= i {
+				want = core.ModeGlobal
+			}
+			if m != want {
+				t.Fatalf("step %d pod %d mode %v, want %v", i, p, m, want)
+			}
+		}
+		// Every step is cheaper than a full conversion (fewer rules
+		// change per step than in an atomic switch).
+		if s.Report.Total <= s.Report.OCSTime {
+			t.Fatalf("step %d total %v at the OCS floor", i, s.Report.Total)
+		}
+	}
+	if m, uniform := c.Network().Mode(); !uniform || m != core.ModeGlobal {
+		t.Fatalf("final mode %v uniform=%v", m, uniform)
+	}
+	if GradualTotalDelay(steps) <= 0 {
+		t.Fatal("no total delay")
+	}
+	// Converting again gradually is a no-op (all batches skipped).
+	again, err := c.GradualConvert(core.ModeGlobal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("idempotent gradual conversion produced %d steps", len(again))
+	}
+	if _, err := c.GradualConvert(core.ModeClos, 0); err == nil {
+		t.Fatal("batch size 0 accepted")
+	}
+}
+
+func TestGradualConvertBatches(t *testing.T) {
+	c := exampleController(t)
+	steps, err := c.GradualConvert(core.ModeLocal, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 pods, batch 3 => steps of 3 and 1 pods.
+	if len(steps) != 2 || len(steps[0].Pods) != 3 || len(steps[1].Pods) != 1 {
+		t.Fatalf("batching wrong: %d steps", len(steps))
+	}
+}
+
+func TestPrecomputeRoutes(t *testing.T) {
+	c := exampleController(t)
+	// Cold conversion computes routes.
+	rep, err := c.Convert(core.ModeGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FromCache {
+		t.Fatal("cold conversion claimed a cache hit")
+	}
+	if rep.RouteComputeTime <= 0 {
+		t.Fatal("no route computation time measured")
+	}
+
+	if err := c.PrecomputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = c.Convert(core.ModeLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FromCache || rep.RouteComputeTime != 0 {
+		t.Fatalf("precomputed conversion missed the cache: %+v", rep)
+	}
+	// Routing state from the cache is fully functional.
+	if c.MaxRulesPerSwitch() <= 0 || len(c.Table().Ingress) == 0 {
+		t.Fatal("cached routing state empty")
+	}
+
+	// A link failure invalidates the cache.
+	tp := c.Realization().Topo
+	var a, b int
+	for _, l := range tp.G.Links() {
+		na, nb := tp.Nodes[l.A], tp.Nodes[l.B]
+		if na.Kind != 0 && nb.Kind != 0 {
+			a, b = l.A, l.B
+			break
+		}
+	}
+	if err := c.FailLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = c.Convert(core.ModeGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FromCache {
+		t.Fatal("cache served a degraded topology")
+	}
+	if err := c.PrecomputeRoutes(); err == nil {
+		t.Fatal("precompute allowed with failed links")
+	}
+}
+
+func TestHybridNeverCached(t *testing.T) {
+	c := exampleController(t)
+	if err := c.PrecomputeRoutes(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.ConvertPods([]core.Mode{core.ModeGlobal, core.ModeClos, core.ModeClos, core.ModeClos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FromCache {
+		t.Fatal("hybrid mode served from the uniform-mode cache")
+	}
+}

@@ -1,0 +1,125 @@
+package control
+
+import (
+	"fmt"
+
+	"flattree/internal/core"
+	"flattree/internal/topo"
+)
+
+// Link-failure handling (§4.3): the logically centralized controller
+// "observes link failures and updates the graph, which happens
+// infrequently and does not cause heavy burden". Failures are identified
+// by their endpoint node IDs — stable across conversions because
+// realizations enumerate nodes identically in every mode — so a failure
+// recorded in one mode stays masked after converting to another when the
+// same physical cable is still in use.
+
+// FailLink records the failure of one link between nodes a and b on the
+// current realization and reinstalls routing state on the surviving
+// topology. Parallel links fail one at a time (each call masks one more).
+func (c *Controller) FailLink(a, b int) error {
+	live, err := c.liveLinksBetween(a, b)
+	if err != nil {
+		return err
+	}
+	if live == 0 {
+		return fmt.Errorf("control: no surviving link between %d and %d", a, b)
+	}
+	key := linkKey(a, b)
+	c.failed[key]++
+	c.routeCache = make(map[core.Mode]*cachedRoutes) // graph changed
+	if err := c.reinstall(); err != nil {
+		c.failed[key]--
+		return fmt.Errorf("control: failing link %d-%d would partition the network: %w", a, b, err)
+	}
+	return nil
+}
+
+// RepairLink clears one recorded failure between a and b and reinstalls.
+func (c *Controller) RepairLink(a, b int) error {
+	key := linkKey(a, b)
+	if c.failed[key] == 0 {
+		return fmt.Errorf("control: no recorded failure between %d and %d", a, b)
+	}
+	c.failed[key]--
+	if c.failed[key] == 0 {
+		delete(c.failed, key)
+	}
+	c.routeCache = make(map[core.Mode]*cachedRoutes) // graph changed
+	return c.reinstall()
+}
+
+// FailedLinks lists recorded failures as (a, b, count) triples.
+func (c *Controller) FailedLinks() [][3]int {
+	var out [][3]int
+	for k, n := range c.failed {
+		out = append(out, [3]int{k[0], k[1], n})
+	}
+	return out
+}
+
+// liveLinksBetween counts surviving links between two nodes on the
+// current (pruned) topology.
+func (c *Controller) liveLinksBetween(a, b int) (int, error) {
+	t := c.realization.Topo
+	if a < 0 || a >= len(t.Nodes) || b < 0 || b >= len(t.Nodes) {
+		return 0, fmt.Errorf("control: node out of range")
+	}
+	n := 0
+	for _, id := range t.G.Incident(a) {
+		if t.G.Link(id).Other(a) == b {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func linkKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// pruneFailures rebuilds a topology without the masked links. A recorded
+// failure whose adjacency the current mode does not realize is dormant:
+// the broken cable is simply not in use until a conversion brings it back.
+// Pruning errors only when the surviving network no longer validates
+// (partition).
+func pruneFailures(t *topo.Topology, failed map[[2]int]int) (*topo.Topology, error) {
+	if len(failed) == 0 {
+		return t, nil
+	}
+	remaining := make(map[[2]int]int, len(failed))
+	for k, n := range failed {
+		remaining[k] = n
+	}
+	out := topo.NewTopology(t.Name + "-degraded")
+	out.SetNumPods(t.NumPods())
+	for _, n := range t.Nodes {
+		id := out.AddNode(n.Kind, n.Pod)
+		if id != n.ID {
+			return nil, fmt.Errorf("control: node renumbering during prune")
+		}
+		out.Nodes[id].LocalIndex = n.LocalIndex
+	}
+	for _, l := range t.G.Links() {
+		na, nb := t.Nodes[l.A], t.Nodes[l.B]
+		if na.Kind != topo.Server && nb.Kind != topo.Server {
+			key := linkKey(l.A, l.B)
+			if remaining[key] > 0 {
+				remaining[key]--
+				continue // masked
+			}
+			out.AddLink(l.A, l.B)
+		}
+	}
+	for _, s := range t.Servers() {
+		out.AttachServer(s, t.AttachedSwitch(s))
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

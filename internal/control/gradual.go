@@ -1,0 +1,80 @@
+package control
+
+import (
+	"fmt"
+
+	"flattree/internal/core"
+)
+
+// Gradual conversion (§4.3): "Network operators can plan when conversions
+// should happen ... They can convert the topology gradually involving some
+// of the network devices, so converter switches need not be coordinated to
+// react all at the same time. Existing methods for updating or replacing a
+// switch in the network, e.g. draining parts of the network incrementally
+// before making the changes, can be used to avoid traffic disruption."
+//
+// GradualConvert realizes that: pods convert in batches, each batch its
+// own (short) reconfiguration, while the rest of the network keeps its old
+// mode and keeps carrying traffic. The intermediate states are exactly the
+// hybrid modes of §3.5, so routing stays valid throughout.
+
+// GradualStep is one batch of a gradual conversion.
+type GradualStep struct {
+	// Pods converted in this step.
+	Pods []int
+	// Report is the step's conversion accounting (rules and latency for
+	// this batch only).
+	Report *ConversionReport
+	// ModesAfter is the pod-mode vector once the step completes.
+	ModesAfter []core.Mode
+}
+
+// GradualConvert converts the network to the target mode batchSize pods at
+// a time, returning the per-step reports. The network remains connected
+// and routed between steps; callers drain traffic from each batch's pods
+// before invoking the next step if they want zero loss, per §4.3.
+func (c *Controller) GradualConvert(target core.Mode, batchSize int) ([]GradualStep, error) {
+	if batchSize < 1 {
+		return nil, fmt.Errorf("control: batch size %d", batchSize)
+	}
+	pods := c.nw.Clos().Pods
+	var steps []GradualStep
+	for start := 0; start < pods; start += batchSize {
+		end := start + batchSize
+		if end > pods {
+			end = pods
+		}
+		modes := c.nw.PodModes()
+		var batch []int
+		changed := false
+		for p := start; p < end; p++ {
+			if modes[p] != target {
+				changed = true
+			}
+			modes[p] = target
+			batch = append(batch, p)
+		}
+		if !changed {
+			continue // batch already in the target mode
+		}
+		rep, err := c.ConvertPods(modes)
+		if err != nil {
+			return steps, fmt.Errorf("control: gradual step at pod %d: %w", start, err)
+		}
+		steps = append(steps, GradualStep{
+			Pods: batch, Report: rep, ModesAfter: append([]core.Mode(nil), modes...),
+		})
+	}
+	return steps, nil
+}
+
+// GradualTotalDelay sums the step latencies — the serialized cost of a
+// gradual conversion (each step is cheaper than a full conversion but
+// there are more of them; rule churn is what dominates either way).
+func GradualTotalDelay(steps []GradualStep) float64 {
+	var total float64
+	for _, s := range steps {
+		total += s.Report.Total
+	}
+	return total
+}

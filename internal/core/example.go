@@ -1,0 +1,26 @@
+package core
+
+import "flattree/internal/topo"
+
+// ExampleClos returns the Clos parameterization of the paper's running
+// example (Figure 2) and testbed (Figure 9): 4 pods of 2 edge and 2
+// aggregation switches, 4 core switches, 3 servers per edge switch —
+// 20 packet switches and 24 servers in total, 1.5:1 oversubscribed.
+func ExampleClos() topo.ClosParams {
+	return topo.ClosParams{
+		Name:           "example",
+		Pods:           4,
+		EdgesPerPod:    2,
+		AggsPerPod:     2,
+		ServersPerEdge: 3,
+		EdgeUplinks:    2,
+		AggUplinks:     2,
+		Cores:          4,
+	}
+}
+
+// ExampleNetwork returns the flat-tree network of Figure 2: each edge-agg
+// pair has one 4-port and one 6-port converter switch.
+func ExampleNetwork() (*Network, error) {
+	return New(ExampleClos(), Options{N: 1, M: 1, Pattern: Pattern1})
+}

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+
+	"flattree/internal/topo"
+)
+
+// Multi-stage flat-tree — the extension §2.2 sketches and leaves to future
+// work: "the lower-layer Pods consider the edge switches in the upper-layer
+// Pods as core switches; intermediate switch-only Pods take relocated
+// servers from lower-layer Pods as their own servers."
+//
+// A MultiStage composes two flat-tree networks. Every lower-layer core
+// connector is a cable whose lower end the lower network's converters
+// steer (aggregation switch in default, edge switch in local, server in
+// side/cross) and whose upper end is an upper-layer edge switch's "server
+// port". The upper network's converters steer that upper end in turn: to
+// the upper edge switch (default), the upper aggregation switch (local),
+// or straight to a true core switch (side/cross) — so with both layers in
+// global mode, relocated servers surface at every level of the hierarchy,
+// including the true core.
+type MultiStage struct {
+	lower, upper *Network
+}
+
+// NewMultiStage validates the composition: the upper network's edge
+// switches stand in one-for-one for the lower network's core switches,
+// and each upper edge's server ports carry exactly the cables that land
+// on its lower-core role.
+func NewMultiStage(lower, upper *Network) (*MultiStage, error) {
+	lc, uc := lower.Clos(), upper.Clos()
+	if got, want := uc.Pods*uc.EdgesPerPod, lc.Cores; got != want {
+		return nil, fmt.Errorf("core: upper layer has %d edge switches for %d lower cores", got, want)
+	}
+	if got, want := uc.ServersPerEdge, lc.CoreDownlinks(); got != want {
+		return nil, fmt.Errorf("core: upper edges take %d server ports but %d cables arrive per lower core",
+			got, want)
+	}
+	return &MultiStage{lower: lower, upper: upper}, nil
+}
+
+// Lower returns the lower-layer network (its modes are set as usual).
+func (ms *MultiStage) Lower() *Network { return ms.lower }
+
+// Upper returns the upper-layer network.
+func (ms *MultiStage) Upper() *Network { return ms.upper }
+
+// MultiStageRealization is the combined two-stage topology.
+type MultiStageRealization struct {
+	Topo *topo.Topology
+	// Lower-layer node tables (as in Realization).
+	EdgeID, AggID [][]int
+	ServerID      [][][]int
+	// UpperEdgeID[c] is the node standing in for lower core switch c;
+	// UpperAggID[p2][i] are upper aggregation switches; TrueCoreID are
+	// the top-level core switches.
+	UpperEdgeID []int
+	UpperAggID  [][]int
+	TrueCoreID  []int
+}
+
+// cable tracks one lower-core connector: its steered lower endpoint and
+// the upper edge switch it lands on.
+type cable struct {
+	lowerEnd int // node ID: lower agg, lower edge, or server
+	upperC   int // lower-core index = flattened upper-edge index
+}
+
+// Realize builds the combined topology for the current converter
+// configurations of both layers.
+func (ms *MultiStage) Realize() *MultiStageRealization {
+	lc, uc := ms.lower.Clos(), ms.upper.Clos()
+	t := topo.NewTopology(fmt.Sprintf("flat-tree-2stage(%s+%s)", lc.Name, uc.Name))
+	t.SetNumPods(lc.Pods)
+	r := &MultiStageRealization{Topo: t}
+
+	// True cores, then upper pods, then lower pods, then servers — all
+	// upper-layer switches are "core" from the lower layer's viewpoint.
+	r.TrueCoreID = make([]int, uc.Cores)
+	for i := range r.TrueCoreID {
+		r.TrueCoreID[i] = t.AddNode(topo.Core, -1)
+	}
+	r.UpperEdgeID = make([]int, lc.Cores)
+	r.UpperAggID = make([][]int, uc.Pods)
+	for p2 := 0; p2 < uc.Pods; p2++ {
+		for j := 0; j < uc.EdgesPerPod; j++ {
+			r.UpperEdgeID[p2*uc.EdgesPerPod+j] = t.AddNode(topo.Core, -1)
+		}
+		r.UpperAggID[p2] = make([]int, uc.AggsPerPod)
+		for i := 0; i < uc.AggsPerPod; i++ {
+			r.UpperAggID[p2][i] = t.AddNode(topo.Core, -1)
+		}
+	}
+	r.EdgeID = make([][]int, lc.Pods)
+	r.AggID = make([][]int, lc.Pods)
+	for pod := 0; pod < lc.Pods; pod++ {
+		r.EdgeID[pod] = make([]int, lc.EdgesPerPod)
+		for j := 0; j < lc.EdgesPerPod; j++ {
+			id := t.AddNode(topo.Edge, pod)
+			t.Nodes[id].LocalIndex = j
+			r.EdgeID[pod][j] = id
+		}
+		r.AggID[pod] = make([]int, lc.AggsPerPod)
+		for i := 0; i < lc.AggsPerPod; i++ {
+			id := t.AddNode(topo.Agg, pod)
+			t.Nodes[id].LocalIndex = i
+			r.AggID[pod][i] = id
+		}
+	}
+	r.ServerID = make([][][]int, lc.Pods)
+	for pod := 0; pod < lc.Pods; pod++ {
+		r.ServerID[pod] = make([][]int, lc.EdgesPerPod)
+		for j := 0; j < lc.EdgesPerPod; j++ {
+			r.ServerID[pod][j] = make([]int, lc.ServersPerEdge)
+			for s := 0; s < lc.ServersPerEdge; s++ {
+				r.ServerID[pod][j][s] = t.AddNode(topo.Server, pod)
+			}
+		}
+	}
+
+	// Lower pod-internal Clos mesh (never broken).
+	for pod := 0; pod < lc.Pods; pod++ {
+		for j := 0; j < lc.EdgesPerPod; j++ {
+			for i := 0; i < lc.AggsPerPod; i++ {
+				for k := 0; k < lc.EdgeAggMultiplicity(); k++ {
+					t.AddLink(r.EdgeID[pod][j], r.AggID[pod][i])
+				}
+			}
+		}
+	}
+	// Upper pod-internal mesh.
+	for p2 := 0; p2 < uc.Pods; p2++ {
+		for j := 0; j < uc.EdgesPerPod; j++ {
+			for i := 0; i < uc.AggsPerPod; i++ {
+				for k := 0; k < uc.EdgeAggMultiplicity(); k++ {
+					t.AddLink(r.UpperEdgeID[p2*uc.EdgesPerPod+j], r.UpperAggID[p2][i])
+				}
+			}
+		}
+	}
+
+	// Lower layer: steer each cable's lower end per lower configs, and
+	// attach directly-kept servers / agg connectors. Cables are collected
+	// per lower-core (= upper-edge) index, in deterministic order.
+	cables := make([][]cable, lc.Cores)
+	lowerRealizeInto(ms.lower, r, cables)
+
+	// Lower inter-pod side links (lower global mode).
+	ms.lowerSideLinks(r)
+
+	// Upper layer: each upper edge's "server slots" are its cables in
+	// arrival order; upper converters steer slots 0..n2+m2-1.
+	ms.upperRealizeInto(r, cables)
+
+	return r
+}
+
+// lowerRealizeInto applies the lower network's converter configs. Instead
+// of linking agg/edge/server to a core switch directly (as Realize does),
+// the steered endpoint is recorded as a cable toward the upper layer.
+func lowerRealizeInto(nw *Network, r *MultiStageRealization, cables [][]cable) {
+	lc := nw.Clos()
+	t := r.Topo
+	g := nw.CoreGroupSize()
+	n, m := nw.opt.N, nw.opt.M
+	for pod := 0; pod < lc.Pods; pod++ {
+		for j := 0; j < lc.EdgesPerPod; j++ {
+			edge := r.EdgeID[pod][j]
+			agg := r.AggID[pod][j/lc.R()]
+			addCable := func(idx, lowerEnd int) {
+				c := nw.CoreFor(pod, j, idx)
+				cables[c] = append(cables[c], cable{lowerEnd: lowerEnd, upperC: c})
+			}
+			for i := 0; i < n; i++ {
+				server := r.ServerID[pod][j][i]
+				switch nw.configOf(FourPort, pod, j, i) {
+				case ConfigDefault:
+					t.AttachServer(server, edge)
+					addCable(m+i, agg)
+				case ConfigLocal:
+					t.AttachServer(server, agg)
+					addCable(m+i, edge)
+				}
+			}
+			for i := 0; i < m; i++ {
+				server := r.ServerID[pod][j][n+i]
+				switch nw.configOf(SixPort, pod, j, i) {
+				case ConfigDefault:
+					t.AttachServer(server, edge)
+					addCable(i, agg)
+				case ConfigLocal:
+					t.AttachServer(server, agg)
+					addCable(i, edge)
+				case ConfigSide, ConfigCross:
+					// The server IS the cable's lower end; its inter-pod
+					// side links are emitted by lowerSideLinks.
+					addCable(i, server)
+				}
+			}
+			for s := n + m; s < lc.ServersPerEdge; s++ {
+				t.AttachServer(r.ServerID[pod][j][s], edge)
+			}
+			for idx := n + m; idx < g; idx++ {
+				addCable(idx, agg)
+			}
+		}
+	}
+}
+
+// lowerSideLinks emits the lower layer's inter-pod links for side/cross
+// 6-port converters (same pairing as Network.addSideLinks).
+func (ms *MultiStage) lowerSideLinks(r *MultiStageRealization) {
+	nw := ms.lower
+	lc := nw.Clos()
+	half := lc.EdgesPerPod / 2
+	for pod := 0; pod < lc.Pods; pod++ {
+		for j := 0; j < half; j++ { // left blades emit
+			for i := 0; i < nw.opt.M; i++ {
+				cfg := nw.configOf(SixPort, pod, j, i)
+				if cfg != ConfigSide && cfg != ConfigCross {
+					continue
+				}
+				ppod, pj, _, ok := nw.SidePartner(pod, j, i)
+				if !ok {
+					continue
+				}
+				e := r.EdgeID[pod][j]
+				a := r.AggID[pod][j/lc.R()]
+				pe := r.EdgeID[ppod][pj]
+				pa := r.AggID[ppod][pj/lc.R()]
+				if cfg == ConfigSide {
+					r.Topo.AddLink(e, pe)
+					r.Topo.AddLink(a, pa)
+				} else {
+					r.Topo.AddLink(e, pa)
+					r.Topo.AddLink(a, pe)
+				}
+			}
+		}
+	}
+}
+
+// upperRealizeInto wires the cables through the upper network's pods.
+func (ms *MultiStage) upperRealizeInto(r *MultiStageRealization, cables [][]cable) {
+	nw := ms.upper
+	uc := nw.Clos()
+	t := r.Topo
+	g := nw.CoreGroupSize()
+	n, m := nw.opt.N, nw.opt.M
+
+	attach := func(lowerEnd, upperEnd int) {
+		if t.Nodes[lowerEnd].Kind == topo.Server {
+			t.AttachServer(lowerEnd, upperEnd)
+			return
+		}
+		t.AddLink(lowerEnd, upperEnd)
+	}
+
+	for p2 := 0; p2 < uc.Pods; p2++ {
+		for j := 0; j < uc.EdgesPerPod; j++ {
+			cIdx := p2*uc.EdgesPerPod + j
+			upperEdge := r.UpperEdgeID[cIdx]
+			upperAgg := r.UpperAggID[p2][j/uc.R()]
+			slots := cables[cIdx]
+			if len(slots) != uc.ServersPerEdge {
+				panic(fmt.Sprintf("core: upper edge %d received %d cables, want %d",
+					cIdx, len(slots), uc.ServersPerEdge))
+			}
+			slot := func(i int) int { return slots[i].lowerEnd }
+
+			for i := 0; i < n; i++ {
+				coreSw := r.TrueCoreID[nw.CoreFor(p2, j, m+i)]
+				switch nw.configOf(FourPort, p2, j, i) {
+				case ConfigDefault:
+					attach(slot(i), upperEdge)
+					t.AddLink(upperAgg, coreSw)
+				case ConfigLocal:
+					attach(slot(i), upperAgg)
+					t.AddLink(upperEdge, coreSw)
+				}
+			}
+			for i := 0; i < m; i++ {
+				coreSw := r.TrueCoreID[nw.CoreFor(p2, j, i)]
+				switch nw.configOf(SixPort, p2, j, i) {
+				case ConfigDefault:
+					attach(slot(n+i), upperEdge)
+					t.AddLink(upperAgg, coreSw)
+				case ConfigLocal:
+					attach(slot(n+i), upperAgg)
+					t.AddLink(upperEdge, coreSw)
+				case ConfigSide, ConfigCross:
+					// The cable's lower end reaches the true core
+					// directly; upper edge/agg cross to the neighbor pod.
+					attach(slot(n+i), coreSw)
+					ms.upperSideLinks(r, p2, j, i)
+				}
+			}
+			for s := n + m; s < uc.ServersPerEdge; s++ {
+				attach(slot(s), upperEdge)
+			}
+			for idx := n + m; idx < g; idx++ {
+				t.AddLink(upperAgg, r.TrueCoreID[nw.CoreFor(p2, j, idx)])
+			}
+		}
+	}
+}
+
+// upperSideLinks emits the upper layer's inter-pod side links once per
+// pair (left blade emits, mirroring addSideLinks).
+func (ms *MultiStage) upperSideLinks(r *MultiStageRealization, pod, edgeCol, row int) {
+	nw := ms.upper
+	uc := nw.Clos()
+	half := uc.EdgesPerPod / 2
+	if edgeCol >= half {
+		return
+	}
+	cfg := nw.configOf(SixPort, pod, edgeCol, row)
+	ppod, pj, _, ok := nw.SidePartner(pod, edgeCol, row)
+	if !ok {
+		return
+	}
+	e := r.UpperEdgeID[pod*uc.EdgesPerPod+edgeCol]
+	a := r.UpperAggID[pod][edgeCol/uc.R()]
+	pe := r.UpperEdgeID[ppod*uc.EdgesPerPod+pj]
+	pa := r.UpperAggID[ppod][pj/uc.R()]
+	if cfg == ConfigSide {
+		r.Topo.AddLink(e, pe)
+		r.Topo.AddLink(a, pa)
+	} else {
+		r.Topo.AddLink(e, pa)
+		r.Topo.AddLink(a, pe)
+	}
+}
+
+// ExampleMultiStage returns a two-stage composition of the Figure 2
+// example: the 4-core example network under an upper layer of 2 pods
+// whose 4 edge switches play the lower cores' role, topped by 4 true
+// core switches.
+func ExampleMultiStage() (*MultiStage, error) {
+	lower, err := ExampleNetwork()
+	if err != nil {
+		return nil, err
+	}
+	upper, err := New(topo.ClosParams{
+		Name:           "upper",
+		Pods:           2,
+		EdgesPerPod:    2,
+		AggsPerPod:     2,
+		ServersPerEdge: 4, // = lower CoreDownlinks
+		EdgeUplinks:    2,
+		AggUplinks:     2,
+		Cores:          4,
+	}, Options{N: 1, M: 1})
+	if err != nil {
+		return nil, err
+	}
+	return NewMultiStage(lower, upper)
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"flattree/internal/topo"
+)
+
+func exampleMS(t *testing.T) *MultiStage {
+	t.Helper()
+	ms, err := ExampleMultiStage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+// msBudgets verifies port conservation at every layer of a multi-stage
+// realization.
+func msBudgets(t *testing.T, ms *MultiStage, r *MultiStageRealization) {
+	t.Helper()
+	lc, uc := ms.Lower().Clos(), ms.Upper().Clos()
+	tp := r.Topo
+	for pod := range r.EdgeID {
+		for _, e := range r.EdgeID[pod] {
+			if d := tp.G.Degree(e); d != lc.ServersPerEdge+lc.EdgeUplinks {
+				t.Fatalf("lower edge %d degree %d, want %d", e, d, lc.ServersPerEdge+lc.EdgeUplinks)
+			}
+		}
+		for _, a := range r.AggID[pod] {
+			want := lc.EdgesPerPod*lc.EdgeAggMultiplicity() + lc.AggUplinks
+			if d := tp.G.Degree(a); d != want {
+				t.Fatalf("lower agg %d degree %d, want %d", a, d, want)
+			}
+		}
+	}
+	for _, ue := range r.UpperEdgeID {
+		if d := tp.G.Degree(ue); d != uc.ServersPerEdge+uc.EdgeUplinks {
+			t.Fatalf("upper edge %d degree %d, want %d", ue, d, uc.ServersPerEdge+uc.EdgeUplinks)
+		}
+	}
+	for _, row := range r.UpperAggID {
+		for _, ua := range row {
+			want := uc.EdgesPerPod*uc.EdgeAggMultiplicity() + uc.AggUplinks
+			if d := tp.G.Degree(ua); d != want {
+				t.Fatalf("upper agg %d degree %d, want %d", ua, d, want)
+			}
+		}
+	}
+	for _, c := range r.TrueCoreID {
+		if d := tp.G.Degree(c); d != uc.CoreDownlinks() {
+			t.Fatalf("true core %d degree %d, want %d", c, d, uc.CoreDownlinks())
+		}
+	}
+}
+
+func TestMultiStageValidation(t *testing.T) {
+	lower, _ := ExampleNetwork()
+	badUpper, err := New(topo.ClosParams{
+		Name: "bad", Pods: 2, EdgesPerPod: 4, AggsPerPod: 2,
+		ServersPerEdge: 4, EdgeUplinks: 2, AggUplinks: 4, Cores: 8,
+	}, Options{N: 1, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMultiStage(lower, badUpper); err == nil {
+		t.Fatal("mismatched upper edge count accepted")
+	}
+}
+
+func TestMultiStageClosClos(t *testing.T) {
+	ms := exampleMS(t)
+	ms.Lower().SetMode(ModeClos)
+	ms.Upper().SetMode(ModeClos)
+	r := ms.Realize()
+	if err := r.Topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	msBudgets(t, ms, r)
+	// All servers on lower edges.
+	for _, s := range r.Topo.Servers() {
+		if k := r.Topo.Nodes[r.Topo.AttachedSwitch(s)].Kind; k != topo.Edge {
+			t.Fatalf("Clos/Clos: server %d on %v", s, k)
+		}
+	}
+	// Node count: 4 true cores + 4 upper edges + 4 upper aggs + 8 lower
+	// edges + 8 lower aggs + 24 servers.
+	if got := r.Topo.G.NumNodes(); got != 4+4+4+8+8+24 {
+		t.Fatalf("nodes = %d", got)
+	}
+}
+
+func TestMultiStageGlobalGlobal(t *testing.T) {
+	ms := exampleMS(t)
+	ms.Lower().SetMode(ModeGlobal)
+	ms.Upper().SetMode(ModeGlobal)
+	r := ms.Realize()
+	if err := r.Topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	msBudgets(t, ms, r)
+	// Servers surface at every layer: lower edges keep 1 per column,
+	// lower aggs take the 4-port relocations, and the 6-port cables put
+	// servers on upper switches — with upper global, some reach the true
+	// core.
+	locs := map[string]int{}
+	trueCore := map[int]bool{}
+	for _, c := range r.TrueCoreID {
+		trueCore[c] = true
+	}
+	upperEdge := map[int]bool{}
+	for _, c := range r.UpperEdgeID {
+		upperEdge[c] = true
+	}
+	for _, s := range r.Topo.Servers() {
+		sw := r.Topo.AttachedSwitch(s)
+		switch {
+		case trueCore[sw]:
+			locs["truecore"]++
+		case upperEdge[sw]:
+			locs["upperedge"]++
+		case r.Topo.Nodes[sw].Kind == topo.Edge:
+			locs["loweredge"]++
+		case r.Topo.Nodes[sw].Kind == topo.Agg:
+			locs["loweragg"]++
+		default:
+			locs["upperagg"]++
+		}
+	}
+	if locs["loweredge"] != 8 || locs["loweragg"] != 8 {
+		t.Fatalf("lower layer placement wrong: %v", locs)
+	}
+	if locs["truecore"] == 0 {
+		t.Fatalf("no servers reached the true core in global/global: %v", locs)
+	}
+	if locs["truecore"]+locs["upperedge"]+locs["upperagg"] != 8 {
+		t.Fatalf("relocated-to-upper count wrong: %v", locs)
+	}
+}
+
+func TestMultiStageMixedModes(t *testing.T) {
+	ms := exampleMS(t)
+	// Lower Clos, upper global: cables carry lower-agg endpoints, and
+	// the upper side/cross configs connect some lower aggs DIRECTLY to
+	// the true core — topology flattening across the hierarchy without
+	// touching the lower pods.
+	ms.Lower().SetMode(ModeClos)
+	ms.Upper().SetMode(ModeGlobal)
+	r := ms.Realize()
+	if err := r.Topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	msBudgets(t, ms, r)
+	for _, s := range r.Topo.Servers() {
+		if k := r.Topo.Nodes[r.Topo.AttachedSwitch(s)].Kind; k != topo.Edge {
+			t.Fatalf("lower Clos: server %d left its edge switch (%v)", s, k)
+		}
+	}
+	trueCore := map[int]bool{}
+	for _, c := range r.TrueCoreID {
+		trueCore[c] = true
+	}
+	direct := 0
+	for _, l := range r.Topo.G.Links() {
+		na, nb := r.Topo.Nodes[l.A], r.Topo.Nodes[l.B]
+		if (trueCore[l.A] && nb.Kind == topo.Agg) || (trueCore[l.B] && na.Kind == topo.Agg) {
+			direct++
+		}
+	}
+	if direct == 0 {
+		t.Fatal("upper global mode created no direct lower-agg to true-core links")
+	}
+}
+
+func TestMultiStagePathsShortenWhenFlattened(t *testing.T) {
+	ms := exampleMS(t)
+	ms.Lower().SetMode(ModeClos)
+	ms.Upper().SetMode(ModeClos)
+	closAPL := msServerAPL(ms.Realize())
+	ms.Lower().SetMode(ModeGlobal)
+	ms.Upper().SetMode(ModeGlobal)
+	globalAPL := msServerAPL(ms.Realize())
+	if globalAPL >= closAPL {
+		t.Fatalf("two-stage flattening did not shorten paths: %v vs %v", globalAPL, closAPL)
+	}
+}
+
+func msServerAPL(r *MultiStageRealization) float64 {
+	t := r.Topo
+	var total float64
+	var count int
+	servers := t.Servers()
+	for _, a := range servers {
+		dist := t.G.BFSDistances(t.AttachedSwitch(a))
+		for _, b := range servers {
+			if a == b {
+				continue
+			}
+			total += float64(dist[t.AttachedSwitch(b)])
+			count++
+		}
+	}
+	return total / float64(count)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+
+	"flattree/internal/topo"
+)
+
+// ProfileResult is one (n, m) candidate evaluated by ProfileMN.
+type ProfileResult struct {
+	N, M int
+	// AvgPathLength is the mean switch-level hop distance between the
+	// attachment switches of sampled server pairs in global mode.
+	AvgPathLength float64
+}
+
+// ProfileMN implements the server-distribution profiling of §3.4: under the
+// given wiring pattern, it sweeps feasible (n, m) combinations and measures
+// the average path length over server pairs in global mode, returning every
+// candidate and the best one (shortest average path; ties prefer more
+// relocation capacity, then larger m). sampleStride > 1 samples every
+// sampleStride-th server as a BFS source to bound cost on large networks.
+func ProfileMN(clos topo.ClosParams, pattern Pattern, sampleStride int) (best ProfileResult, all []ProfileResult, err error) {
+	if sampleStride < 1 {
+		sampleStride = 1
+	}
+	g := clos.AggUplinks / clos.R()
+	max := g
+	if clos.ServersPerEdge < max {
+		max = clos.ServersPerEdge
+	}
+	best.AvgPathLength = math.Inf(1)
+	for total := 1; total <= max; total++ {
+		for m := 0; m <= total; m++ {
+			n := total - m
+			nw, nerr := New(clos, Options{N: n, M: m, Pattern: pattern})
+			if nerr != nil {
+				continue
+			}
+			nw.SetMode(ModeGlobal)
+			r := nw.Realize()
+			apl := serverAPL(r, sampleStride)
+			res := ProfileResult{N: n, M: m, AvgPathLength: apl}
+			all = append(all, res)
+			if apl < best.AvgPathLength-1e-12 ||
+				(math.Abs(apl-best.AvgPathLength) <= 1e-12 && (n+m > best.N+best.M ||
+					(n+m == best.N+best.M && m > best.M))) {
+				best = res
+			}
+		}
+	}
+	if math.IsInf(best.AvgPathLength, 1) {
+		return best, all, errNoFeasible(clos)
+	}
+	return best, all, nil
+}
+
+func errNoFeasible(clos topo.ClosParams) error {
+	return &noFeasibleError{name: clos.Name}
+}
+
+type noFeasibleError struct{ name string }
+
+func (e *noFeasibleError) Error() string {
+	return "core: no feasible (n, m) for " + e.name
+}
+
+// serverAPL measures the average path length between server attachment
+// switches, sampling every strideth server as a source.
+func serverAPL(r *Realization, stride int) float64 {
+	t := r.Topo
+	servers := t.Servers()
+	// Attachment switches, deduplicated per source for BFS reuse.
+	var total float64
+	var count int64
+	for i := 0; i < len(servers); i += stride {
+		src := t.AttachedSwitch(servers[i])
+		dist := t.G.BFSDistances(src)
+		for j, s := range servers {
+			if j == i {
+				continue
+			}
+			d := dist[t.AttachedSwitch(s)]
+			if d < 0 {
+				continue
+			}
+			total += float64(d)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}

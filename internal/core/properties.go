@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"flattree/internal/topo"
+)
+
+// CoreLinkCensus counts, for one core switch, its attached servers and its
+// links toward edge and aggregation switches. Properties 1 and 2 of §3.2
+// state that in global mode both wiring patterns spread these uniformly
+// across the core switches.
+type CoreLinkCensus struct {
+	Servers int
+	ToEdge  int
+	ToAgg   int
+}
+
+// CensusCores tallies per-core link types of a realization.
+func CensusCores(r *Realization) []CoreLinkCensus {
+	t := r.Topo
+	out := make([]CoreLinkCensus, len(r.CoreID))
+	idx := make(map[int]int, len(r.CoreID))
+	for i, id := range r.CoreID {
+		idx[id] = i
+	}
+	for _, l := range t.G.Links() {
+		for _, pair := range [2][2]int{{l.A, l.B}, {l.B, l.A}} {
+			ci, ok := idx[pair[0]]
+			if !ok {
+				continue
+			}
+			switch t.Nodes[pair[1]].Kind {
+			case topo.Server:
+				out[ci].Servers++
+			case topo.Edge:
+				out[ci].ToEdge++
+			case topo.Agg:
+				out[ci].ToAgg++
+			}
+		}
+	}
+	return out
+}
+
+// spread returns max-min of the given per-core counts.
+func spread(census []CoreLinkCensus, field func(CoreLinkCensus) int) int {
+	if len(census) == 0 {
+		return 0
+	}
+	min, max := field(census[0]), field(census[0])
+	for _, c := range census[1:] {
+		v := field(c)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max - min
+}
+
+// CheckProperty1 verifies that servers are distributed uniformly across
+// core switches (Property 1, §3.2): the per-core server count varies by at
+// most tolerance.
+func CheckProperty1(r *Realization, tolerance int) error {
+	census := CensusCores(r)
+	if s := spread(census, func(c CoreLinkCensus) int { return c.Servers }); s > tolerance {
+		return fmt.Errorf("core: Property 1 violated: per-core server spread %d > %d", s, tolerance)
+	}
+	return nil
+}
+
+// CheckProperty2 verifies that core switches carry an equal number of links
+// of each type (Property 2, §3.2), within the given tolerance.
+func CheckProperty2(r *Realization, tolerance int) error {
+	census := CensusCores(r)
+	if s := spread(census, func(c CoreLinkCensus) int { return c.ToEdge }); s > tolerance {
+		return fmt.Errorf("core: Property 2 violated: per-core edge-link spread %d > %d", s, tolerance)
+	}
+	if s := spread(census, func(c CoreLinkCensus) int { return c.ToAgg }); s > tolerance {
+		return fmt.Errorf("core: Property 2 violated: per-core agg-link spread %d > %d", s, tolerance)
+	}
+	return nil
+}

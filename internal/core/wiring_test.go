@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"flattree/internal/topo"
+)
+
+func TestWiringManifestParity(t *testing.T) {
+	// The packaging claim (§2.2/§3.1): flat-tree pods expose the same
+	// external connectors as their Clos counterparts.
+	nw, err := ExampleNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.ExternalConnectorParity(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range topo.Table2() {
+		nw, err := New(p, Options{N: 1, M: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := nw.ExternalConnectorParity(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestWiringManifestCounts(t *testing.T) {
+	nw, err := ExampleNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := CableCounts(nw.WiringManifest())
+	// Example: 4 pods x 2 edges x 2 aggs x mult 1 = 16 edge-agg cables.
+	if counts[CableEdgeAgg] != 16 {
+		t.Fatalf("edge-agg cables = %d, want 16", counts[CableEdgeAgg])
+	}
+	if counts[CableServer] != 24 {
+		t.Fatalf("server cables = %d, want 24", counts[CableServer])
+	}
+	// Per pod: 2 edges x g=2 connectors = 4 core cables; m=1 blade B and
+	// n=1 blade A per column, no direct agg connectors (g-m-n = 0).
+	if counts[CableBladeBCore] != 8 || counts[CableBladeACore] != 8 {
+		t.Fatalf("blade core cables = %d/%d, want 8/8",
+			counts[CableBladeBCore], counts[CableBladeACore])
+	}
+	if counts[CableAggCore] != 0 {
+		t.Fatalf("agg-core cables = %d, want 0", counts[CableAggCore])
+	}
+	// Ring of 4 pods: one side bundle per adjacency.
+	if counts[CableSideBundle] != 4 {
+		t.Fatalf("side bundles = %d, want 4", counts[CableSideBundle])
+	}
+}
+
+func TestWiringManifestMatchesCoreFor(t *testing.T) {
+	// Every pod-core cable in the manifest must name the core switch
+	// CoreFor computes; cross-check a topo-1-shaped build.
+	p, err := topo.Table2ByName("topo-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := New(p, Options{N: 1, M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[int][]int{}
+	for j := 0; j < p.EdgesPerPod; j++ {
+		groups[j] = nw.CoreGroupFor(j)
+		// Each edge column reaches exactly g distinct cores (groups do
+		// not wrap for topo-2: d*g == Cores).
+		if len(groups[j]) != nw.CoreGroupSize() {
+			t.Fatalf("edge %d group size %d, want %d", j, len(groups[j]), nw.CoreGroupSize())
+		}
+	}
+	// Groups are disjoint and cover all cores when d*g == Cores.
+	seen := map[int]bool{}
+	for _, grp := range groups {
+		for _, c := range grp {
+			if seen[c] {
+				t.Fatalf("core %d in two groups", c)
+			}
+			seen[c] = true
+		}
+	}
+	if len(seen) != p.Cores {
+		t.Fatalf("groups cover %d cores, want %d", len(seen), p.Cores)
+	}
+}
+
+func TestCableClassString(t *testing.T) {
+	if CableSideBundle.String() != "side-bundle" || CableServer.String() != "server" {
+		t.Fatal("cable class names wrong")
+	}
+	if CableClass(99).String() == "" {
+		t.Fatal("out-of-range class name empty")
+	}
+}

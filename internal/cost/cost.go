@@ -1,0 +1,111 @@
+// Package cost implements the §3.6 cost analysis: what converting a Clos
+// network to flat-tree adds in hardware, under the two realization
+// technologies the paper discusses — copper crosspoint switches (per-port
+// cost "as low as $3") and small optical circuit switches (2D MEMS /
+// Mach-Zehnder), whose feasibility rests on the optical power budget: "the
+// difference between transmit power and receive sensitivity of commercial
+// optical transceivers can be over 8dB, which easily overcomes the
+// insertion loss of most optical switches. Amplifiers are thus not
+// needed."
+package cost
+
+import (
+	"fmt"
+
+	"flattree/internal/core"
+	"flattree/internal/metrics"
+	"flattree/internal/topo"
+)
+
+// Model holds the technology constants.
+type Model struct {
+	// CrosspointPortUSD is the copper crosspoint per-port cost (§3.6
+	// cites $3 [31]).
+	CrosspointPortUSD float64
+	// OpticalPortUSD is the small optical circuit switch per-port cost;
+	// §3.6 expects it to become "reasonably cheap" with packaging volume.
+	OpticalPortUSD float64
+	// InsertionLossDB is the optical loss a converter inserts in a path.
+	InsertionLossDB float64
+	// LinkBudgetDB is the transceiver TX-power minus RX-sensitivity
+	// margin (§3.6: "can be over 8dB" [7]).
+	LinkBudgetDB float64
+}
+
+// DefaultModel returns constants drawn from §3.6's citations.
+func DefaultModel() Model {
+	return Model{
+		CrosspointPortUSD: 3,
+		OpticalPortUSD:    30, // moderate-volume 2D MEMS estimate
+		InsertionLossDB:   3,  // typical small optical switch
+		LinkBudgetDB:      8,
+	}
+}
+
+// Estimate is the added hardware of one flat-tree build.
+type Estimate struct {
+	Topology       string
+	Converters4    int
+	Converters6    int
+	ConverterPorts int
+	Servers        int
+	// CopperUSD and OpticalUSD price the converter layer per technology.
+	CopperUSD, OpticalUSD float64
+	// PerServerCopperUSD amortizes the copper cost per server.
+	PerServerCopperUSD float64
+	// OpticalFeasible reports whether a path through the worst-case
+	// number of converters stays within the link budget without
+	// amplifiers.
+	OpticalFeasible bool
+	// WorstCaseLossDB is the loss of a path crossing the maximum number
+	// of converters (one at each end after relocation).
+	WorstCaseLossDB float64
+}
+
+// ForNetwork prices a flat-tree network's converter layer.
+func ForNetwork(nw *core.Network, m Model) Estimate {
+	cp := nw.Clos()
+	perPair4 := nw.Options().N
+	perPair6 := nw.Options().M
+	pairs := cp.Pods * cp.EdgesPerPod
+	e := Estimate{
+		Topology:    cp.Name,
+		Converters4: pairs * perPair4,
+		Converters6: pairs * perPair6,
+		Servers:     cp.TotalServers(),
+	}
+	e.ConverterPorts = e.Converters4*4 + e.Converters6*6
+	e.CopperUSD = float64(e.ConverterPorts) * m.CrosspointPortUSD
+	e.OpticalUSD = float64(e.ConverterPorts) * m.OpticalPortUSD
+	if e.Servers > 0 {
+		e.PerServerCopperUSD = e.CopperUSD / float64(e.Servers)
+	}
+	// Worst case: a packet enters through the source's converter and
+	// leaves through the destination's — two insertions per path. (A
+	// converter pipes a circuit straight through; transit switches add
+	// no optical hops because packet switches regenerate the signal.)
+	e.WorstCaseLossDB = 2 * m.InsertionLossDB
+	e.OpticalFeasible = e.WorstCaseLossDB <= m.LinkBudgetDB
+	return e
+}
+
+// Table prices every given topology with the §3.4-profiled converter
+// counts chosen by newNetwork, rendering a §3.6-style summary.
+func Table(params []topo.ClosParams, m Model, newNetwork func(topo.ClosParams) (*core.Network, error)) (string, error) {
+	t := &metrics.Table{Header: []string{
+		"topology", "#4-port", "#6-port", "converter ports",
+		"copper cost ($)", "$/server", "optical cost ($)",
+		"worst-case loss (dB)", "amplifier-free",
+	}}
+	for _, p := range params {
+		nw, err := newNetwork(p)
+		if err != nil {
+			return "", fmt.Errorf("cost: %s: %w", p.Name, err)
+		}
+		e := ForNetwork(nw, m)
+		t.Add(e.Topology, e.Converters4, e.Converters6, e.ConverterPorts,
+			e.CopperUSD, e.PerServerCopperUSD, e.OpticalUSD,
+			e.WorstCaseLossDB, e.OpticalFeasible)
+	}
+	return t.String(), nil
+}

@@ -1,0 +1,58 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+
+	"flattree/internal/core"
+	"flattree/internal/topo"
+)
+
+func TestForNetworkExample(t *testing.T) {
+	nw, err := core.ExampleNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ForNetwork(nw, DefaultModel())
+	// Example: 8 pairs x (1 four-port + 1 six-port).
+	if e.Converters4 != 8 || e.Converters6 != 8 {
+		t.Fatalf("converters = %d/%d, want 8/8", e.Converters4, e.Converters6)
+	}
+	if e.ConverterPorts != 8*4+8*6 {
+		t.Fatalf("ports = %d, want 80", e.ConverterPorts)
+	}
+	if e.CopperUSD != 240 {
+		t.Fatalf("copper cost = %v, want 240 (80 ports x $3)", e.CopperUSD)
+	}
+	if e.PerServerCopperUSD != 10 {
+		t.Fatalf("per-server = %v, want 10", e.PerServerCopperUSD)
+	}
+	// §3.6: the 8 dB budget covers the insertion loss without amplifiers.
+	if !e.OpticalFeasible || e.WorstCaseLossDB != 6 {
+		t.Fatalf("optical: feasible=%v loss=%v", e.OpticalFeasible, e.WorstCaseLossDB)
+	}
+}
+
+func TestOpticalInfeasibleWhenLossy(t *testing.T) {
+	nw, _ := core.ExampleNetwork()
+	m := DefaultModel()
+	m.InsertionLossDB = 5 // 2 x 5 > 8 dB budget
+	e := ForNetwork(nw, m)
+	if e.OpticalFeasible {
+		t.Fatal("10 dB of loss within an 8 dB budget accepted")
+	}
+}
+
+func TestTableRendersAllTopologies(t *testing.T) {
+	out, err := Table(topo.Table2(), DefaultModel(), func(p topo.ClosParams) (*core.Network, error) {
+		return core.New(p, core.Options{N: 1, M: 2})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"topo-1", "topo-6", "$/server", "amplifier-free"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cost table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"flattree/internal/core"
+	"flattree/internal/metrics"
+	"flattree/internal/routing"
+	"flattree/internal/topo"
+	"flattree/internal/traffic"
+)
+
+// Fig6Case identifies one topology/mode panel of Figure 6.
+type Fig6Case struct {
+	Topology string // base topology name ("topo-1"/"mini-1", ...)
+	Mode     core.Mode
+}
+
+// Fig6Cell is the average flow throughput of one method on one traffic
+// pattern, normalized against LP minimum.
+type Fig6Cell struct {
+	Pattern    traffic.SyntheticPattern
+	Method     Method
+	Normalized float64
+	RawAvg     float64
+}
+
+// Fig6Panel is one subfigure: a topology/mode with all pattern x method
+// cells.
+type Fig6Panel struct {
+	Case  Fig6Case
+	Cells []Fig6Cell
+}
+
+// Fig6Result reproduces Figure 6: average flow throughput of k-shortest-
+// path routing with MPTCP (4/8/12 paths) against the LP bounds, on
+// selected flat-tree topologies under the four synthetic patterns.
+type Fig6Result struct {
+	Panels []Fig6Panel
+}
+
+// DefaultFig6Cases returns the panels the paper shows: topo-1 global,
+// topo-1 local, topo-2 global, topo-5 global (reduced names at default
+// scale).
+func (c Config) DefaultFig6Cases() []Fig6Case {
+	pfx := "mini"
+	if c.Full {
+		pfx = "topo"
+	}
+	return []Fig6Case{
+		{pfx + "-1", core.ModeGlobal},
+		{pfx + "-1", core.ModeLocal},
+		{pfx + "-2", core.ModeGlobal},
+		{pfx + "-5", core.ModeGlobal},
+	}
+}
+
+// Fig6Methods are the schemes compared in Figure 6.
+func Fig6Methods() []Method {
+	return []Method{LPMin, LPAvg, MPTCP4, MPTCP8, MPTCP12}
+}
+
+// Fig6Patterns are the four synthetic workloads of §5.1.
+func Fig6Patterns() []traffic.SyntheticPattern {
+	return []traffic.SyntheticPattern{
+		traffic.PatternPermutation, traffic.PatternPodStride,
+		traffic.PatternHotSpot, traffic.PatternManyToMany,
+	}
+}
+
+// Fig6 runs the default panels.
+func (c Config) Fig6() (*Fig6Result, error) {
+	return c.Fig6With(c.DefaultFig6Cases(), Fig6Methods(), Fig6Patterns())
+}
+
+// Fig6With runs explicit panels, methods, and patterns. Cells are
+// independent and run in parallel across CPUs; the k-shortest-path table
+// of each panel is built once and shared by every MPTCP/ECMP cell.
+func (c Config) Fig6With(cases []Fig6Case, methods []Method, patterns []traffic.SyntheticPattern) (*Fig6Result, error) {
+	res := &Fig6Result{Panels: make([]Fig6Panel, len(cases))}
+	type job struct {
+		panel, cell int
+		pairs       []traffic.Pair
+		method      Method
+		topo        *topo.Topology
+		table       *routing.Table
+	}
+	var jobs []job
+	for pi, cs := range cases {
+		nw, err := c.Network(cs.Topology)
+		if err != nil {
+			return nil, err
+		}
+		nw.SetMode(cs.Mode)
+		r := nw.Realize()
+		cp := nw.Clos()
+		perPod := cp.EdgesPerPod * cp.ServersPerEdge
+		var table *routing.Table
+		if k := maxK(methods); k > 0 {
+			table = routing.BuildKShortest(r.Topo, k)
+		}
+		res.Panels[pi].Case = cs
+		for _, pat := range patterns {
+			pairs := traffic.Synthetic(pat, cp.TotalServers(), perPod, c.Seed)
+			for _, m := range methods {
+				res.Panels[pi].Cells = append(res.Panels[pi].Cells, Fig6Cell{Pattern: pat, Method: m})
+				jobs = append(jobs, job{
+					panel: pi, cell: len(res.Panels[pi].Cells) - 1,
+					pairs: pairs, method: m, topo: r.Topo, table: table,
+				})
+			}
+		}
+	}
+
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for ji := range jobs {
+		wg.Add(1)
+		go func(ji int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j := jobs[ji]
+			flows, err := c.methodThroughputs(j.topo, j.table, j.pairs, j.method)
+			if err != nil {
+				errs[ji] = fmt.Errorf("fig6 %s/%v %v %v: %w",
+					cases[j.panel].Topology, cases[j.panel].Mode, j.pairs[0], j.method, err)
+				return
+			}
+			res.Panels[j.panel].Cells[j.cell].RawAvg = metrics.Mean(flows)
+		}(ji)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Normalize each (panel, pattern) group against its LP minimum.
+	for pi := range res.Panels {
+		lpMin := map[traffic.SyntheticPattern]float64{}
+		for _, cell := range res.Panels[pi].Cells {
+			if cell.Method == LPMin {
+				lpMin[cell.Pattern] = cell.RawAvg
+			}
+		}
+		for ci := range res.Panels[pi].Cells {
+			cell := &res.Panels[pi].Cells[ci]
+			base := lpMin[cell.Pattern]
+			if base <= 0 {
+				return nil, fmt.Errorf("fig6 %s: LP minimum average is %v for %v",
+					res.Panels[pi].Case.Topology, base, cell.Pattern)
+			}
+			cell.Normalized = cell.RawAvg / base
+		}
+	}
+	return res, nil
+}
+
+// Render formats one table per panel, patterns as rows and methods as
+// columns, matching Figure 6's normalization against LP minimum.
+func (r *Fig6Result) Render() string {
+	out := ""
+	for _, p := range r.Panels {
+		out += fmt.Sprintf("-- %s %s --\n", p.Case.Topology, p.Case.Mode)
+		// Column order from the cell stream.
+		var methods []Method
+		seen := map[Method]bool{}
+		for _, c := range p.Cells {
+			if !seen[c.Method] {
+				seen[c.Method] = true
+				methods = append(methods, c.Method)
+			}
+		}
+		header := []string{"pattern"}
+		for _, m := range methods {
+			header = append(header, m.String())
+		}
+		t := &metrics.Table{Header: header}
+		byPattern := map[traffic.SyntheticPattern]map[Method]float64{}
+		var patterns []traffic.SyntheticPattern
+		for _, c := range p.Cells {
+			if byPattern[c.Pattern] == nil {
+				byPattern[c.Pattern] = map[Method]float64{}
+				patterns = append(patterns, c.Pattern)
+			}
+			byPattern[c.Pattern][c.Method] = c.Normalized
+		}
+		for _, pat := range patterns {
+			row := []interface{}{pat.String()}
+			for _, m := range methods {
+				row = append(row, byPattern[pat][m])
+			}
+			t.Add(row...)
+		}
+		out += t.String()
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flattree/internal/core"
+	"flattree/internal/metrics"
+	"flattree/internal/routing"
+	"flattree/internal/traffic"
+)
+
+// Fig7Box is one box plot of Figure 7: the distribution of individual flow
+// throughputs for one method under one traffic pattern on topo-1 global.
+type Fig7Box struct {
+	Pattern traffic.SyntheticPattern
+	Method  Method
+	Box     metrics.BoxPlot
+}
+
+// Fig7Result reproduces Figure 7's box plots (topo-1 in global mode;
+// MPTCP uses 8 paths).
+type Fig7Result struct {
+	Topology string
+	Boxes    []Fig7Box
+}
+
+// Fig7 runs the experiment at the configured scale.
+func (c Config) Fig7() (*Fig7Result, error) {
+	name := "mini-1"
+	if c.Full {
+		name = "topo-1"
+	}
+	nw, err := c.Network(name)
+	if err != nil {
+		return nil, err
+	}
+	nw.SetMode(core.ModeGlobal)
+	r := nw.Realize()
+	cp := nw.Clos()
+	perPod := cp.EdgesPerPod * cp.ServersPerEdge
+	res := &Fig7Result{Topology: name}
+	table := routing.BuildKShortest(r.Topo, 8)
+	for _, pat := range Fig6Patterns() {
+		pairs := traffic.Synthetic(pat, cp.TotalServers(), perPod, c.Seed)
+		for _, m := range []Method{MPTCP8, LPAvg, LPMin} {
+			flows, err := c.methodThroughputs(r.Topo, table, pairs, m)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %v %v: %w", pat, m, err)
+			}
+			res.Boxes = append(res.Boxes, Fig7Box{Pattern: pat, Method: m, Box: metrics.NewBoxPlot(flows)})
+		}
+	}
+	return res, nil
+}
+
+// Render tabulates the box statistics (Gbps) per pattern and method.
+func (r *Fig7Result) Render() string {
+	t := &metrics.Table{Header: []string{
+		"pattern", "method", "p25", "median", "p75", "mean", "whisker-lo", "whisker-hi", "outliers",
+	}}
+	for _, b := range r.Boxes {
+		t.Add(b.Pattern.String(), b.Method.String(),
+			b.Box.P25, b.Box.Median, b.Box.P75, b.Box.Mean,
+			b.Box.WhiskerLo, b.Box.WhiskerHi, b.Box.Outliers)
+	}
+	return fmt.Sprintf("-- %s global, flow throughput distribution --\n%s", r.Topology, t.String())
+}

@@ -1,0 +1,149 @@
+// Package flowsim is a flow-level network simulator: the substrate this
+// reproduction uses in place of the paper's MPTCP packet-level simulator.
+//
+// Transport connections are fluid flows over fixed path sets. Rates are
+// the weighted max-min fair allocation computed by progressive filling —
+// the steady state that TCP-family congestion control converges to. MPTCP
+// connections hold k subflows of weight 1/k each (modeling coupled
+// congestion control's one-connection-worth of aggression, §4.1); TCP/ECMP
+// connections hold a single path of weight 1. An event-driven loop
+// advances flow arrivals and completions to produce flow completion times
+// (Figure 8) and throughput time series (Figure 10).
+package flowsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Subflow is one path of one connection in the allocator's view.
+type Subflow struct {
+	// Conn indexes the owning connection.
+	Conn int
+	// Links lists the link IDs the subflow traverses.
+	Links []int
+	// Weight is the subflow's fair-share weight (1/k for MPTCP subflows,
+	// 1 for plain TCP).
+	Weight float64
+}
+
+// MaxMinRates computes the weighted max-min fair rate of every subflow by
+// progressive filling: all subflows grow proportionally to their weights
+// until a link saturates; subflows through saturated links freeze; repeat.
+// caps holds per-link capacities. Subflows with no links (same-host) or
+// zero weight get rate 0 from this allocator's perspective... zero-weight
+// subflows are rejected.
+func MaxMinRates(caps []float64, subs []Subflow) ([]float64, error) {
+	rates := make([]float64, len(subs))
+	if len(subs) == 0 {
+		return rates, nil
+	}
+	remaining := append([]float64(nil), caps...)
+	active := make([]bool, len(subs))
+	// linkWeight[l] = total weight of active subflows crossing l;
+	// linkCount[l] is the exact active-subflow count — the authoritative
+	// emptiness test (accumulated floating-point residue in linkWeight
+	// must never keep a link "loaded" after its subflows all froze).
+	linkWeight := make([]float64, len(caps))
+	linkCount := make([]int, len(caps))
+	linkSubs := make([][]int, len(caps))
+	nActive := 0
+	for i, s := range subs {
+		if s.Weight <= 0 {
+			return nil, fmt.Errorf("flowsim: subflow %d has weight %v", i, s.Weight)
+		}
+		if len(s.Links) == 0 {
+			// Loopback path: unconstrained by the fabric; the caller
+			// grants these the local rate (see ConnRates).
+			continue
+		}
+		active[i] = true
+		nActive++
+		for _, l := range s.Links {
+			if l < 0 || l >= len(caps) {
+				return nil, fmt.Errorf("flowsim: subflow %d references link %d of %d", i, l, len(caps))
+			}
+			linkWeight[l] += s.Weight
+			linkCount[l]++
+			linkSubs[l] = append(linkSubs[l], i)
+		}
+	}
+
+	level := 0.0 // current water level (rate per unit weight)
+	for nActive > 0 {
+		// Find the link that saturates next: smallest additional level
+		// Δ = remaining[l] / linkWeight[l] over links with active load.
+		bottleneck := -1
+		best := math.Inf(1)
+		for l := range caps {
+			if linkCount[l] == 0 {
+				continue
+			}
+			if d := remaining[l] / linkWeight[l]; d < best {
+				best = d
+				bottleneck = l
+			}
+		}
+		if bottleneck < 0 {
+			break
+		}
+		level += best
+		// Drain every loaded link by the growth of this round.
+		for l := range caps {
+			if linkCount[l] > 0 {
+				remaining[l] -= best * linkWeight[l]
+				if remaining[l] < 0 {
+					remaining[l] = 0
+				}
+			}
+		}
+		// Freeze subflows crossing the bottleneck (and any other link
+		// that just hit zero). Freezing the bottleneck's subflows is
+		// unconditional, guaranteeing progress every round.
+		frozeAny := false
+		for l := range caps {
+			if linkCount[l] == 0 {
+				continue
+			}
+			if l != bottleneck && remaining[l] > 1e-12 {
+				continue
+			}
+			for _, si := range linkSubs[l] {
+				if !active[si] {
+					continue
+				}
+				active[si] = false
+				nActive--
+				frozeAny = true
+				rates[si] = subs[si].Weight * level
+				for _, sl := range subs[si].Links {
+					linkWeight[sl] -= subs[si].Weight
+					linkCount[sl]--
+					if linkCount[sl] == 0 {
+						linkWeight[sl] = 0
+					}
+				}
+			}
+		}
+		if !frozeAny {
+			// Defensive: cannot happen (the bottleneck always freezes),
+			// but never spin.
+			break
+		}
+	}
+	return rates, nil
+}
+
+// ConnRates sums subflow rates per connection. nConns is the number of
+// connections; loopback subflows (no links) are granted localRate each.
+func ConnRates(nConns int, subs []Subflow, rates []float64, localRate float64) []float64 {
+	out := make([]float64, nConns)
+	for i, s := range subs {
+		if len(s.Links) == 0 {
+			out[s.Conn] += localRate
+			continue
+		}
+		out[s.Conn] += rates[i]
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package flowsim
+
+import (
+	"math"
+	"testing"
+)
+
+// Benchmarks for the rate allocator — the inner loop of every throughput
+// experiment and of each event in the FCT simulations.
+
+func benchSubflows(nConns, k, nLinks int) ([]float64, []Subflow) {
+	caps := make([]float64, nLinks)
+	for i := range caps {
+		caps[i] = 10
+	}
+	var subs []Subflow
+	for c := 0; c < nConns; c++ {
+		for s := 0; s < k; s++ {
+			subs = append(subs, Subflow{
+				Conn:   c,
+				Links:  []int{(c + s) % nLinks, (c + s + 7) % nLinks, (c + s + 13) % nLinks},
+				Weight: 1 / float64(k),
+			})
+		}
+	}
+	return caps, subs
+}
+
+func BenchmarkMaxMinRates128x8(b *testing.B) {
+	caps, subs := benchSubflows(128, 8, 400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxMinRates(caps, subs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimFCT(b *testing.B) {
+	caps := make([]float64, 64)
+	for i := range caps {
+		caps[i] = 10
+	}
+	specs := make([]ConnSpec, 200)
+	for i := range specs {
+		specs[i] = ConnSpec{
+			Paths:   [][]int{{i % 64, (i + 5) % 64}},
+			Bits:    1 + math.Mod(float64(i)*0.37, 5),
+			Arrival: float64(i) * 0.001,
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSim(caps, specs).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package flowsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ConnSpec describes one connection entering the simulation.
+type ConnSpec struct {
+	// Paths are the connection's subflow paths as link-ID lists. MPTCP
+	// connections pass k paths; TCP passes one.
+	Paths [][]int
+	// Bits is the transfer size; math.Inf(1) makes the connection
+	// persistent (it never completes — iPerf-style).
+	Bits float64
+	// Arrival is the connection start time in seconds.
+	Arrival float64
+	// Weight is the connection's total fairness weight, split evenly
+	// across subflows; zero defaults to 1.
+	Weight float64
+}
+
+// ConnResult reports one connection's outcome.
+type ConnResult struct {
+	// Start and Finish bound the transfer; Finish is +Inf for persistent
+	// connections and connections that never complete.
+	Start, Finish float64
+	// Bits echoes the transfer size.
+	Bits float64
+}
+
+// FCT returns the flow completion time.
+func (c ConnResult) FCT() float64 { return c.Finish - c.Start }
+
+// Sim is an event-driven flow-level simulation over a fixed topology.
+type Sim struct {
+	caps  []float64
+	specs []ConnSpec
+
+	// LocalRate is the rate granted to loopback (same-host) paths;
+	// defaults to 10 (link speed) if zero.
+	LocalRate float64
+	// Horizon stops the simulation at this time even if flows remain;
+	// zero means run to completion of all finite flows.
+	Horizon float64
+	// Sample, when set, is called at every event boundary with the
+	// current time and per-connection rates (valid until the next call).
+	Sample func(t float64, connRates []float64)
+}
+
+// NewSim creates a simulation over links with the given capacities.
+func NewSim(caps []float64, specs []ConnSpec) *Sim {
+	return &Sim{caps: caps, specs: specs, LocalRate: 10}
+}
+
+// Run executes the simulation and returns per-connection results in spec
+// order.
+func (s *Sim) Run() ([]ConnResult, error) {
+	n := len(s.specs)
+	results := make([]ConnResult, n)
+	remaining := make([]float64, n)
+	order := make([]int, n)
+	for i, sp := range s.specs {
+		if len(sp.Paths) == 0 {
+			return nil, fmt.Errorf("flowsim: connection %d has no paths", i)
+		}
+		if sp.Bits <= 0 {
+			return nil, fmt.Errorf("flowsim: connection %d has size %v", i, sp.Bits)
+		}
+		results[i] = ConnResult{Start: sp.Arrival, Finish: math.Inf(1), Bits: sp.Bits}
+		remaining[i] = sp.Bits
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.specs[order[a]].Arrival < s.specs[order[b]].Arrival
+	})
+
+	active := make(map[int]bool)
+	nextArrival := 0
+	t := 0.0
+	if n == 0 {
+		return results, nil
+	}
+	for {
+		// Admit arrivals at the current time.
+		for nextArrival < n && s.specs[order[nextArrival]].Arrival <= t+1e-12 {
+			active[order[nextArrival]] = true
+			nextArrival++
+		}
+		if len(active) == 0 {
+			if nextArrival >= n {
+				break
+			}
+			t = s.specs[order[nextArrival]].Arrival
+			continue
+		}
+		// Allocate rates for the active set.
+		connRates, err := s.allocate(active)
+		if err != nil {
+			return nil, err
+		}
+		if s.Sample != nil {
+			s.Sample(t, connRates)
+		}
+		// Next event: earliest completion or next arrival.
+		nextT := math.Inf(1)
+		if nextArrival < n {
+			nextT = s.specs[order[nextArrival]].Arrival
+		}
+		completing := -1
+		for c := range active {
+			r := connRates[c]
+			if math.IsInf(remaining[c], 1) || r <= 1e-15 {
+				continue
+			}
+			if fin := t + remaining[c]/r; fin < nextT {
+				nextT = fin
+				completing = c
+			}
+		}
+		if s.Horizon > 0 && nextT > s.Horizon {
+			// Stop at the horizon; account progress up to it.
+			dt := s.Horizon - t
+			for c := range active {
+				remaining[c] -= connRates[c] * dt
+			}
+			return results, nil
+		}
+		if math.IsInf(nextT, 1) {
+			// Only persistent or starved flows remain.
+			for c := range active {
+				if connRates[c] <= 1e-15 && !math.IsInf(remaining[c], 1) {
+					return nil, fmt.Errorf("flowsim: connection %d starved (disconnected path set?)", c)
+				}
+			}
+			return results, nil
+		}
+		dt := nextT - t
+		for c := range active {
+			remaining[c] -= connRates[c] * dt
+		}
+		t = nextT
+		// Retire completed connections (the chosen one plus any that hit
+		// zero within tolerance).
+		for c := range active {
+			if !math.IsInf(remaining[c], 1) && (c == completing || remaining[c] <= 1e-6) {
+				results[c].Finish = t
+				delete(active, c)
+			}
+		}
+	}
+	return results, nil
+}
+
+// allocate computes per-connection rates for the active set.
+func (s *Sim) allocate(active map[int]bool) ([]float64, error) {
+	var subs []Subflow
+	for c := range active {
+		sp := s.specs[c]
+		w := sp.Weight
+		if w == 0 {
+			w = 1
+		}
+		per := w / float64(len(sp.Paths))
+		for _, p := range sp.Paths {
+			subs = append(subs, Subflow{Conn: c, Links: p, Weight: per})
+		}
+	}
+	rates, err := MaxMinRates(s.caps, subs)
+	if err != nil {
+		return nil, err
+	}
+	return ConnRates(len(s.specs), subs, rates, s.LocalRate), nil
+}
+
+// StaticRates computes the steady-state connection rates if every
+// connection were active simultaneously — the allocation used for the
+// throughput experiments of §5.1 where all flows run concurrently.
+func StaticRates(caps []float64, specs []ConnSpec, localRate float64) ([]float64, error) {
+	s := NewSim(caps, specs)
+	if localRate > 0 {
+		s.LocalRate = localRate
+	}
+	active := make(map[int]bool, len(specs))
+	for i, sp := range specs {
+		if len(sp.Paths) == 0 {
+			return nil, fmt.Errorf("flowsim: connection %d has no paths", i)
+		}
+		active[i] = true
+	}
+	return s.allocate(active)
+}

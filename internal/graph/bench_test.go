@@ -1,0 +1,48 @@
+package graph
+
+import "testing"
+
+// Benchmarks for the routing-critical path algorithms.
+
+func benchGraph() *Graph {
+	// A mini-1-shaped switch graph: 48 switches, dense pod meshes.
+	g := New(48)
+	for pod := 0; pod < 4; pod++ {
+		for e := 0; e < 4; e++ {
+			for a := 0; a < 4; a++ {
+				g.AddLink(pod*8+e, pod*8+4+a, 10)
+			}
+		}
+	}
+	for c := 0; c < 16; c++ {
+		core := 32 + c
+		for pod := 0; pod < 4; pod++ {
+			g.AddLink(pod*8+4+(c%4), core, 10)
+		}
+	}
+	return g
+}
+
+func BenchmarkBFSDistances(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.BFSDistances(i % g.NumNodes())
+	}
+}
+
+func BenchmarkShortestPath(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ShortestPath(0, 47)
+	}
+}
+
+func BenchmarkKShortestPaths8(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.KShortestPaths(0, 47, 8)
+	}
+}

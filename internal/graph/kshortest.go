@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+)
+
+// KShortestPaths returns up to k loopless minimum-hop paths from src to dst
+// using Yen's algorithm (Yen 1971), the algorithm the paper adopts for
+// k-shortest-path routing. Paths are ordered by increasing hop count; ties
+// are broken by deterministic BFS order so results are reproducible.
+func (g *Graph) KShortestPaths(src, dst, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := g.ShortestPath(src, dst)
+	if !ok {
+		return nil
+	}
+	paths := []Path{first}
+	// Candidate heap of deviation paths, ordered by length then by
+	// discovery sequence for determinism.
+	cands := &pathHeap{}
+	seen := map[string]bool{pathKey(first.Nodes): true}
+	seq := 0
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// Spur from every node of the previous path except the last.
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spurNode := prev.Nodes[i]
+			rootNodes := prev.Nodes[:i+1]
+
+			bannedLinks := make(map[int]bool)
+			for _, p := range paths {
+				if len(p.Nodes) > i && equalNodes(p.Nodes[:i+1], rootNodes) && len(p.Links) > i {
+					bannedLinks[p.Links[i]] = true
+				}
+			}
+			bannedNodes := make(map[int]bool, i)
+			for _, n := range rootNodes[:i] {
+				bannedNodes[n] = true
+			}
+
+			spur, ok := g.shortestPathFiltered(spurNode, dst, bannedLinks, bannedNodes)
+			if !ok {
+				continue
+			}
+			total := Path{
+				Nodes: append(append([]int(nil), rootNodes...), spur.Nodes[1:]...),
+				Links: append(append([]int(nil), prev.Links[:i]...), spur.Links...),
+			}
+			key := pathKey(total.Nodes)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			heap.Push(cands, candPath{path: total, seq: seq})
+			seq++
+		}
+		if cands.Len() == 0 {
+			break
+		}
+		next := heap.Pop(cands).(candPath)
+		paths = append(paths, next.path)
+	}
+	return paths
+}
+
+func pathKey(nodes []int) string {
+	// Compact byte encoding; node IDs fit in 4 bytes each.
+	b := make([]byte, 0, len(nodes)*4)
+	for _, n := range nodes {
+		b = append(b, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	return string(b)
+}
+
+type candPath struct {
+	path Path
+	seq  int
+}
+
+type pathHeap []candPath
+
+func (h pathHeap) Len() int { return len(h) }
+func (h pathHeap) Less(i, j int) bool {
+	if h[i].path.Len() != h[j].path.Len() {
+		return h[i].path.Len() < h[j].path.Len()
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pathHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x interface{}) { *h = append(*h, x.(candPath)) }
+func (h *pathHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// PairKey identifies an ordered (src, dst) node pair in path tables.
+type PairKey struct{ Src, Dst int }
+
+// KShortestAllPairs computes k-shortest paths for every ordered pair in
+// pairs, in parallel across available CPUs. The result maps each pair to its
+// path list. Pair computations are independent, mirroring the paper's note
+// that k-shortest-path routing parallelizes trivially (§4.3).
+func (g *Graph) KShortestAllPairs(pairs []PairKey, k int) map[PairKey][]Path {
+	out := make(map[PairKey][]Path, len(pairs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	work := make(chan PairKey)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range work {
+				paths := g.KShortestPaths(p.Src, p.Dst, k)
+				mu.Lock()
+				out[p] = paths
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, p := range pairs {
+		work <- p
+	}
+	close(work)
+	wg.Wait()
+	return out
+}

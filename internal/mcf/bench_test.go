@@ -1,0 +1,36 @@
+package mcf
+
+import (
+	"testing"
+
+	"flattree/internal/graph"
+)
+
+// Benchmark for the LP approximation: a mini-Clos-shaped fabric with a
+// permutation commodity set.
+
+func BenchmarkMaxConcurrentPermutation(b *testing.B) {
+	g := graph.New(48)
+	for pod := 0; pod < 4; pod++ {
+		for e := 0; e < 4; e++ {
+			for a := 0; a < 4; a++ {
+				g.AddLink(pod*8+e, pod*8+4+a, 10)
+			}
+		}
+	}
+	for c := 0; c < 16; c++ {
+		for pod := 0; pod < 4; pod++ {
+			g.AddLink(pod*8+4+(c%4), 32+c, 10)
+		}
+	}
+	var comms []Commodity
+	for i := 0; i < 16; i++ {
+		comms = append(comms, Commodity{Src: (i * 8) % 32, Dst: (i*8 + 17) % 32, Demand: 1})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxConcurrent(g, comms, Options{Epsilon: 0.3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,493 @@
+// Package packetsim is a discrete-event packet-level network simulator —
+// the same methodology as the MPTCP packet simulator the paper drives its
+// §5.1–5.2 evaluations with. It complements the fluid model in
+// internal/flowsim: flowsim computes the max-min fixed point directly,
+// packetsim derives throughput from per-packet TCP/MPTCP congestion
+// control dynamics over store-and-forward links with finite drop-tail
+// queues. The two are cross-validated in the experiments package.
+//
+// Model:
+//
+//   - links are directed arcs with a serialization rate, a fixed
+//     propagation delay, and a drop-tail queue of bounded size;
+//   - TCP senders run NewReno-style control: slow start, congestion
+//     avoidance, fast retransmit on three duplicate ACKs, and retransmit
+//     timeouts;
+//   - MPTCP connections run one window per subflow, coupled by the LIA
+//     increase rule (RFC 6356), so a connection is roughly as aggressive
+//     as one TCP flow on its best path;
+//   - ACKs return on the reverse path with propagation delay only (ACK
+//     queueing is not modeled; ACK traffic is a negligible fraction of
+//     the forward bytes at MTU-sized packets).
+//
+// Packet-level simulation costs an event per packet per hop, so it is
+// used for validation windows (tens of milliseconds) and reduced rates,
+// not for the full traces — exactly how the paper's own simulator was
+// used relative to its testbed.
+package packetsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"flattree/internal/graph"
+)
+
+// Config sets the data-plane constants.
+type Config struct {
+	// PacketBits is the MTU in bits (default 12000 = 1500 B).
+	PacketBits float64
+	// LinkDelay is per-arc propagation delay in seconds (default 1 µs).
+	LinkDelay float64
+	// QueuePackets is the per-arc buffer in packets (default 64).
+	QueuePackets int
+	// RTOMin is the minimum retransmission timeout (default 10 ms).
+	RTOMin float64
+	// InitialCwnd in packets (default 10, RFC 6928).
+	InitialCwnd float64
+	// RateScale multiplies every link rate (default 1). Packet-level
+	// cost grows with rate; validations run reduced-rate replicas of the
+	// 10 Gbps fabrics.
+	RateScale float64
+}
+
+func (c *Config) setDefaults() {
+	if c.PacketBits <= 0 {
+		c.PacketBits = 12000
+	}
+	if c.LinkDelay <= 0 {
+		c.LinkDelay = 1e-6
+	}
+	if c.QueuePackets <= 0 {
+		c.QueuePackets = 64
+	}
+	if c.RTOMin <= 0 {
+		c.RTOMin = 10e-3
+	}
+	if c.InitialCwnd <= 0 {
+		c.InitialCwnd = 10
+	}
+	if c.RateScale <= 0 {
+		c.RateScale = 1
+	}
+}
+
+// FlowSpec is one transport connection.
+type FlowSpec struct {
+	// Paths are directed arc-index sequences (see routing.DirectedLinkIDs);
+	// one path = plain TCP, several = MPTCP subflows.
+	Paths [][]int
+	// Bits to transfer; +Inf for persistent sources.
+	Bits float64
+	// Start time in seconds.
+	Start float64
+}
+
+// FlowResult reports one connection's outcome.
+type FlowResult struct {
+	// DeliveredBits counts payload delivered to the receiver.
+	DeliveredBits float64
+	// Finish is the delivery time of the last bit (+Inf if unfinished
+	// at the horizon).
+	Finish float64
+	// Retransmits counts retransmitted packets across subflows.
+	Retransmits int
+	// Drops counts packets lost in queues.
+	Drops int
+}
+
+// Throughput returns the average goodput in bits/s over the window
+// [start, until].
+func (r FlowResult) Throughput(start, until float64) float64 {
+	if until <= start {
+		return 0
+	}
+	return r.DeliveredBits / (until - start)
+}
+
+// arc is the directed-link state.
+type arc struct {
+	rate     float64 // bits/s
+	busyTill float64 // when the transmitter frees up
+	queued   int     // packets queued or in transmission
+}
+
+// packet is one MTU-sized segment in flight.
+type packet struct {
+	flow, sub int
+	seq       int64
+	hop       int // index into the subflow's arc path
+}
+
+// subflow holds per-path TCP state.
+type subflow struct {
+	path []int
+	// Congestion control.
+	cwnd     float64
+	ssthresh float64
+	inflight int
+	// outstanding maps in-flight seqs to their send time; dupAcks counts
+	// ACKs observed beyond the missing head.
+	outstanding map[int64]float64
+	dupAcks     int
+	recoverSeq  int64 // fast-recovery epoch guard
+	// srtt is the smoothed RTT estimate; RTO = 2*SRTT clamped by RTOMin.
+	srtt float64
+	// retxQueue holds seqs detected lost, resent ahead of new data.
+	retxQueue []int64
+}
+
+// conn is one connection.
+type conn struct {
+	spec     FlowSpec
+	subs     []*subflow
+	sendSeq  int64 // next payload seq across the connection
+	received map[int64]bool
+	res      FlowResult
+	packets  int64 // total payload packets to deliver (or MaxInt64)
+	done     bool
+}
+
+// Sim is a packet-level simulation run.
+type Sim struct {
+	cfg   Config
+	arcs  []arc
+	conns []*conn
+	// Event queue.
+	pq eventHeap
+	// Horizon ends the run.
+	horizon float64
+	now     float64
+}
+
+// New builds a simulation over the directed-arc capacities (Gbps, as from
+// routing.DirectedCaps) with the given flows.
+func New(g *graph.Graph, cfg Config, flows []FlowSpec, horizon float64) (*Sim, error) {
+	cfg.setDefaults()
+	if horizon <= 0 {
+		return nil, fmt.Errorf("packetsim: horizon %v", horizon)
+	}
+	nArcs := 2 * g.NumLinks()
+	s := &Sim{cfg: cfg, arcs: make([]arc, nArcs), horizon: horizon}
+	for _, l := range g.Links() {
+		s.arcs[2*l.ID].rate = l.Capacity * 1e9 * cfg.RateScale
+		s.arcs[2*l.ID+1].rate = l.Capacity * 1e9 * cfg.RateScale
+	}
+	for fi, f := range flows {
+		if len(f.Paths) == 0 {
+			return nil, fmt.Errorf("packetsim: flow %d has no paths", fi)
+		}
+		c := &conn{spec: f, received: make(map[int64]bool)}
+		if math.IsInf(f.Bits, 1) {
+			c.packets = math.MaxInt64
+		} else {
+			c.packets = int64(math.Ceil(f.Bits / cfg.PacketBits))
+			if c.packets == 0 {
+				c.packets = 1
+			}
+		}
+		for _, p := range f.Paths {
+			rtt0 := 2 * float64(len(p)) * cfg.LinkDelay
+			for _, a := range p {
+				if a < 0 || a >= nArcs {
+					return nil, fmt.Errorf("packetsim: flow %d references arc %d of %d", fi, a, nArcs)
+				}
+			}
+			c.subs = append(c.subs, &subflow{
+				path:        p,
+				cwnd:        cfg.InitialCwnd,
+				ssthresh:    math.Inf(1),
+				outstanding: make(map[int64]float64),
+				srtt:        rtt0 + 4*cfg.PacketBits/1e10,
+			})
+		}
+		s.conns = append(s.conns, c)
+	}
+	return s, nil
+}
+
+// Run executes the simulation until the horizon or until all finite flows
+// complete, and returns per-flow results.
+func (s *Sim) Run() ([]FlowResult, error) {
+	for fi, c := range s.conns {
+		heap.Push(&s.pq, event{at: c.spec.Start, kind: evPump, flow: fi})
+	}
+	for s.pq.Len() > 0 {
+		ev := heap.Pop(&s.pq).(event)
+		if ev.at > s.horizon {
+			break
+		}
+		s.now = ev.at
+		switch ev.kind {
+		case evPump:
+			s.pump(ev.flow)
+		case evHop:
+			s.hop(ev.pkt)
+		case evAck:
+			s.ack(ev.pkt)
+		case evTimeout:
+			s.timeout(ev.flow, ev.sub, ev.seq)
+		}
+		if s.allDone() {
+			break
+		}
+	}
+	out := make([]FlowResult, len(s.conns))
+	for i, c := range s.conns {
+		if !c.done {
+			c.res.Finish = math.Inf(1)
+		}
+		out[i] = c.res
+	}
+	return out, nil
+}
+
+// allDone reports whether every finite flow has completed.
+func (s *Sim) allDone() bool {
+	for _, c := range s.conns {
+		if !c.done && c.packets != math.MaxInt64 {
+			return false
+		}
+		if c.packets == math.MaxInt64 {
+			return false // persistent flows run to the horizon
+		}
+	}
+	return true
+}
+
+// pump fills every subflow's window of a connection.
+func (s *Sim) pump(fi int) {
+	c := s.conns[fi]
+	if c.done {
+		return
+	}
+	for si, sf := range c.subs {
+		for sf.inflight < int(sf.cwnd) {
+			var seq int64
+			if len(sf.retxQueue) > 0 {
+				seq = sf.retxQueue[0]
+				sf.retxQueue = sf.retxQueue[1:]
+			} else {
+				if c.sendSeq >= c.packets {
+					break
+				}
+				seq = c.sendSeq
+				c.sendSeq++
+			}
+			sf.inflight++
+			sf.outstanding[seq] = s.now
+			s.transmit(packet{flow: fi, sub: si, seq: seq, hop: 0})
+			// Arm a timeout for this segment.
+			heap.Push(&s.pq, event{at: s.now + s.rto(sf), kind: evTimeout, flow: fi, sub: si, seq: seq})
+		}
+	}
+}
+
+// rto returns the current retransmission timeout of a subflow.
+func (s *Sim) rto(sf *subflow) float64 {
+	rto := 2 * sf.srtt
+	if rto < s.cfg.RTOMin {
+		rto = s.cfg.RTOMin
+	}
+	return rto
+}
+
+// transmit enqueues a packet on the next arc of its path, dropping it if
+// the queue is full.
+func (s *Sim) transmit(p packet) {
+	c := s.conns[p.flow]
+	sf := c.subs[p.sub]
+	a := &s.arcs[sf.path[p.hop]]
+	if a.queued >= s.cfg.QueuePackets {
+		// Drop-tail loss: the segment vanishes; recovery comes from
+		// dupACKs or the timeout.
+		c.res.Drops++
+		return
+	}
+	a.queued++
+	start := s.now
+	if a.busyTill > start {
+		start = a.busyTill
+	}
+	tx := s.cfg.PacketBits / a.rate
+	a.busyTill = start + tx
+	arrive := a.busyTill + s.cfg.LinkDelay
+	heap.Push(&s.pq, event{at: arrive, kind: evHop, pkt: p})
+}
+
+// hop moves a packet off its current arc and onto the next, or delivers it.
+func (s *Sim) hop(p packet) {
+	c := s.conns[p.flow]
+	sf := c.subs[p.sub]
+	s.arcs[sf.path[p.hop]].queued--
+	if p.hop+1 < len(sf.path) {
+		p.hop++
+		s.transmit(p)
+		return
+	}
+	// Delivered: the ACK returns after the reverse propagation delay.
+	heap.Push(&s.pq, event{at: s.now + float64(len(sf.path))*s.cfg.LinkDelay, kind: evAck, pkt: p})
+}
+
+// ack processes a returning ACK at the sender.
+func (s *Sim) ack(p packet) {
+	c := s.conns[p.flow]
+	sf := c.subs[p.sub]
+	sendTime, wasOutstanding := sf.outstanding[p.seq]
+	if wasOutstanding {
+		delete(sf.outstanding, p.seq)
+		if sf.inflight > 0 {
+			sf.inflight--
+		}
+		// SRTT EWMA.
+		sample := s.now - sendTime
+		sf.srtt = 0.875*sf.srtt + 0.125*sample
+	}
+	// Deliver payload once per seq (a retransmit can duplicate).
+	if !c.received[p.seq] {
+		c.received[p.seq] = true
+		c.res.DeliveredBits += s.cfg.PacketBits
+		if int64(len(c.received)) >= c.packets && !c.done {
+			c.done = true
+			c.res.Finish = s.now
+		}
+	}
+
+	// Duplicate-ACK accounting: an ACK for a seq above the lowest
+	// outstanding one signals reordering/loss at the head.
+	head := sf.lowestOutstanding()
+	if head >= 0 && p.seq > head {
+		sf.dupAcks++
+		if sf.dupAcks >= 3 && head > sf.recoverSeq {
+			// Fast retransmit + multiplicative decrease.
+			sf.dupAcks = 0
+			sf.recoverSeq = head
+			sf.ssthresh = sf.cwnd / 2
+			if sf.ssthresh < 2 {
+				sf.ssthresh = 2
+			}
+			sf.cwnd = sf.ssthresh
+			delete(sf.outstanding, head)
+			if sf.inflight > 0 {
+				sf.inflight--
+			}
+			c.res.Retransmits++
+			sf.retxQueue = append(sf.retxQueue, head)
+		}
+	} else {
+		sf.dupAcks = 0
+	}
+
+	// Window growth.
+	if wasOutstanding {
+		if sf.cwnd < sf.ssthresh {
+			sf.cwnd++ // slow start
+		} else {
+			sf.cwnd += c.liaIncrease(p.sub) // coupled congestion avoidance
+		}
+	}
+	s.pump(p.flow)
+}
+
+// lowestOutstanding returns the smallest in-flight seq, or -1.
+func (sf *subflow) lowestOutstanding() int64 {
+	low := int64(-1)
+	for seq := range sf.outstanding {
+		if low < 0 || seq < low {
+			low = seq
+		}
+	}
+	return low
+}
+
+// liaIncrease is the per-ACK congestion-avoidance increment of subflow si
+// under MPTCP's Linked Increases Algorithm (RFC 6356): for a single
+// subflow it reduces to TCP's 1/cwnd; across subflows the aggregate gains
+// at most one best-path TCP's worth per RTT.
+func (c *conn) liaIncrease(si int) float64 {
+	sf := c.subs[si]
+	if len(c.subs) == 1 {
+		return 1 / sf.cwnd
+	}
+	var totalCwnd, sumRate float64
+	bestRate := 0.0
+	for _, s2 := range c.subs {
+		rtt := s2.srtt
+		if rtt <= 0 {
+			rtt = 1e-6
+		}
+		totalCwnd += s2.cwnd
+		sumRate += s2.cwnd / rtt
+		if r := s2.cwnd / (rtt * rtt); r > bestRate {
+			bestRate = r
+		}
+	}
+	if totalCwnd <= 0 || sumRate <= 0 {
+		return 1 / sf.cwnd
+	}
+	alpha := totalCwnd * bestRate / (sumRate * sumRate)
+	inc := alpha / totalCwnd
+	if cap := 1 / sf.cwnd; inc > cap {
+		inc = cap
+	}
+	return inc
+}
+
+// timeout fires the RTO for one segment.
+func (s *Sim) timeout(fi, si int, seq int64) {
+	c := s.conns[fi]
+	if c.done {
+		return
+	}
+	sf := c.subs[si]
+	if _, still := sf.outstanding[seq]; !still {
+		return // already acked or fast-retransmitted
+	}
+	delete(sf.outstanding, seq)
+	if sf.inflight > 0 {
+		sf.inflight--
+	}
+	sf.ssthresh = sf.cwnd / 2
+	if sf.ssthresh < 2 {
+		sf.ssthresh = 2
+	}
+	sf.cwnd = 1
+	c.res.Retransmits++
+	sf.retxQueue = append(sf.retxQueue, seq)
+	s.pump(fi)
+}
+
+// Event machinery.
+
+type evKind int
+
+const (
+	evPump evKind = iota
+	evHop
+	evAck
+	evTimeout
+)
+
+type event struct {
+	at   float64
+	kind evKind
+	flow int
+	sub  int
+	seq  int64
+	pkt  packet
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

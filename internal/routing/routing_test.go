@@ -1,0 +1,292 @@
+package routing
+
+import (
+	"testing"
+
+	"flattree/internal/core"
+	"flattree/internal/topo"
+)
+
+func exampleGlobal(t *testing.T) (*core.Network, *core.Realization) {
+	t.Helper()
+	nw, err := core.ExampleNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetMode(core.ModeGlobal)
+	return nw, nw.Realize()
+}
+
+func TestBuildKShortestIngressSet(t *testing.T) {
+	_, r := exampleGlobal(t)
+	tb := BuildKShortest(r.Topo, 4)
+	// Global mode example: every edge, agg, and core switch hosts servers
+	// (1/1/2 each) => 20 ingress switches.
+	if got := len(tb.Ingress); got != 20 {
+		t.Fatalf("ingress switches = %d, want 20", got)
+	}
+	if got := len(tb.Paths); got != 20*19 {
+		t.Fatalf("pairs = %d, want %d", len(tb.Paths), 20*19)
+	}
+}
+
+func TestSwitchPathsAreValidAndOrdered(t *testing.T) {
+	_, r := exampleGlobal(t)
+	tb := BuildKShortest(r.Topo, 4)
+	for pair, paths := range tb.Paths {
+		if len(paths) == 0 || len(paths) > 4 {
+			t.Fatalf("pair %v: %d paths", pair, len(paths))
+		}
+		last := 0
+		for _, p := range paths {
+			if !p.Valid(r.Topo.G) || !p.Loopless() {
+				t.Fatalf("pair %v: invalid path %v", pair, p.Nodes)
+			}
+			if p.Len() < last {
+				t.Fatalf("pair %v: unordered paths", pair)
+			}
+			last = p.Len()
+		}
+	}
+}
+
+func TestServerPaths(t *testing.T) {
+	_, r := exampleGlobal(t)
+	tb := BuildKShortest(r.Topo, 4)
+	servers := r.Topo.Servers()
+	src, dst := servers[0], servers[13]
+	paths := tb.ServerPaths(src, dst)
+	if len(paths) == 0 {
+		t.Fatal("no server paths")
+	}
+	for _, p := range paths {
+		if p.Nodes[0] != src || p.Nodes[len(p.Nodes)-1] != dst {
+			t.Fatalf("endpoints wrong: %v", p.Nodes)
+		}
+		if !p.Valid(r.Topo.G) {
+			t.Fatalf("invalid server path %v", p.Nodes)
+		}
+	}
+}
+
+func TestServerPathsSameSwitch(t *testing.T) {
+	nw, err := core.ExampleNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetMode(core.ModeClos)
+	r := nw.Realize()
+	tb := BuildKShortest(r.Topo, 4)
+	// Servers 0 and 1 share edge switch (pod 0, edge 0) in Clos mode.
+	s0, s1 := r.ServerID[0][0][0], r.ServerID[0][0][1]
+	paths := tb.ServerPaths(s0, s1)
+	if len(paths) != 1 {
+		t.Fatalf("intra-rack paths = %d, want 1", len(paths))
+	}
+	if paths[0].Len() != 2 {
+		t.Fatalf("intra-rack path length = %d, want 2", paths[0].Len())
+	}
+}
+
+func TestEqualCostPaths(t *testing.T) {
+	_, r := exampleGlobal(t)
+	tb := BuildKShortest(r.Topo, 4)
+	for _, a := range tb.Ingress[:5] {
+		for _, b := range tb.Ingress[:5] {
+			if a == b {
+				continue
+			}
+			eq := tb.EqualCostPaths(a, b)
+			if len(eq) == 0 {
+				t.Fatalf("no equal-cost paths %d->%d", a, b)
+			}
+			for _, p := range eq {
+				if p.Len() != eq[0].Len() {
+					t.Fatal("unequal lengths in equal-cost set")
+				}
+			}
+		}
+	}
+}
+
+func TestECMPDeterministicAndSinglePath(t *testing.T) {
+	_, r := exampleGlobal(t)
+	tb := BuildKShortest(r.Topo, 8)
+	servers := r.Topo.Servers()
+	src, dst := servers[2], servers[20]
+	h := FlowHash(src, dst, 0)
+	p1, ok1 := tb.ECMPServerPath(src, dst, h)
+	p2, ok2 := tb.ECMPServerPath(src, dst, h)
+	if !ok1 || !ok2 {
+		t.Fatal("no ECMP path")
+	}
+	if len(p1.Nodes) != len(p2.Nodes) {
+		t.Fatal("nondeterministic ECMP")
+	}
+	for i := range p1.Nodes {
+		if p1.Nodes[i] != p2.Nodes[i] {
+			t.Fatal("nondeterministic ECMP path")
+		}
+	}
+	// Different salts should eventually pick different paths when the
+	// equal-cost set has more than one member.
+	diverse := false
+	for salt := 0; salt < 32; salt++ {
+		p, _ := tb.ECMPServerPath(src, dst, FlowHash(src, dst, salt))
+		if len(p.Nodes) != len(p1.Nodes) {
+			diverse = true
+			break
+		}
+		for i := range p.Nodes {
+			if p.Nodes[i] != p1.Nodes[i] {
+				diverse = true
+				break
+			}
+		}
+	}
+	eq := tb.EqualCostPaths(r.Topo.AttachedSwitch(src), r.Topo.AttachedSwitch(dst))
+	if len(eq) > 1 && !diverse {
+		t.Fatal("ECMP never diversified across 32 hashes despite multiple equal-cost paths")
+	}
+}
+
+func TestAveragePathLengthSmallDiameter(t *testing.T) {
+	_, r := exampleGlobal(t)
+	tb := BuildKShortest(r.Topo, 4)
+	apl := tb.AveragePathLength()
+	// §4.2.2: flat-tree is a small-diameter network, paths traverse
+	// fewer than 3 switches on average (i.e. < 3 switch-level hops).
+	if apl <= 0 || apl >= 3 {
+		t.Fatalf("switch-level APL = %v, want (0, 3)", apl)
+	}
+}
+
+func TestCountStates(t *testing.T) {
+	_, r := exampleGlobal(t)
+	tb := BuildKShortest(r.Topo, 4)
+	sc := tb.CountStates(48)
+	if sc.SourceRoutedIngress != len(tb.Ingress)*4 {
+		t.Fatalf("SourceRoutedIngress = %d, want %d", sc.SourceRoutedIngress, len(tb.Ingress)*4)
+	}
+	if sc.SourceRoutedTransit <= 0 || sc.SourceRoutedTransit > 6*48 {
+		t.Fatalf("SourceRoutedTransit = %d out of expected range", sc.SourceRoutedTransit)
+	}
+	if sc.PrefixAvg >= sc.PerFlowAvg {
+		t.Fatalf("prefix aggregation (%v) did not reduce states vs per-flow (%v)",
+			sc.PrefixAvg, sc.PerFlowAvg)
+	}
+	if sc.PrefixMaxPerSwitch <= 0 {
+		t.Fatal("no prefix rules counted")
+	}
+	// §4.2.1: aggregation reduces states by (servers per ToR)^2; here
+	// servers/switch is ~1.2, so the factor is modest but must match the
+	// n^2/S^2 ratio.
+	wantFactor := float64(len(r.Topo.Servers())*len(r.Topo.Servers())) /
+		float64(len(tb.Ingress)*len(tb.Ingress))
+	gotFactor := sc.PerFlowAvg / sc.PrefixAvg
+	if diff := gotFactor - wantFactor; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("reduction factor %v, want %v", gotFactor, wantFactor)
+	}
+}
+
+func TestStateReductionFactorAtScale(t *testing.T) {
+	// §4.2.1: 20-40 servers per ToR reduce states by 400-1600x. Verify
+	// the formulas reproduce that ratio for a 32-servers-per-edge Clos.
+	p, err := topo.Table2ByName("topo-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(p.TotalServers())
+	S := float64(p.Pods * p.EdgesPerPod) // ingress = edge switches in Clos mode
+	factor := (n * n) / (S * S)
+	if factor != 1024 {
+		t.Fatalf("reduction factor = %v, want 1024 (32^2)", factor)
+	}
+}
+
+func TestBuildKShortestPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	_, r := exampleGlobal(t)
+	BuildKShortest(r.Topo, 0)
+}
+
+func TestWithKTruncates(t *testing.T) {
+	_, r := exampleGlobal(t)
+	tb := BuildKShortest(r.Topo, 8)
+	view := tb.WithK(2)
+	if view.K != 2 {
+		t.Fatalf("view K = %d", view.K)
+	}
+	for pair, paths := range view.Paths {
+		if len(paths) > 2 {
+			t.Fatalf("pair %v has %d paths in k=2 view", pair, len(paths))
+		}
+		full := tb.Paths[pair]
+		for i := range paths {
+			if paths[i].Len() != full[i].Len() {
+				t.Fatalf("view path %d differs from full table", i)
+			}
+		}
+	}
+	// WithK at or above K returns the same table.
+	if tb.WithK(8) != tb || tb.WithK(20) != tb {
+		t.Fatal("WithK did not return the original table")
+	}
+	// Views still expand server paths.
+	servers := r.Topo.Servers()
+	if got := view.ServerPaths(servers[0], servers[20]); len(got) == 0 || len(got) > 2 {
+		t.Fatalf("view server paths = %d", len(got))
+	}
+}
+
+func TestDirectedLinkIDs(t *testing.T) {
+	_, r := exampleGlobal(t)
+	tb := BuildKShortest(r.Topo, 2)
+	servers := r.Topo.Servers()
+	paths := tb.ServerPaths(servers[0], servers[20])
+	for _, p := range paths {
+		ids := DirectedLinkIDs(r.Topo.G, p)
+		if len(ids) != len(p.Links) {
+			t.Fatalf("directed ids = %d for %d links", len(ids), len(p.Links))
+		}
+		for i, id := range ids {
+			link := r.Topo.G.Link(id / 2)
+			if link.ID != p.Links[i] {
+				t.Fatalf("hop %d: directed id %d maps to link %d, want %d", i, id, link.ID, p.Links[i])
+			}
+			// Direction bit must match traversal order.
+			dir := id % 2
+			if dir == 0 && link.A != p.Nodes[i] {
+				t.Fatalf("hop %d: forward arc but tail is %d not %d", i, link.A, p.Nodes[i])
+			}
+			if dir == 1 && link.B != p.Nodes[i] {
+				t.Fatalf("hop %d: reverse arc but tail is %d not %d", i, link.B, p.Nodes[i])
+			}
+		}
+	}
+	caps := DirectedCaps(r.Topo.G)
+	if len(caps) != 2*r.Topo.G.NumLinks() {
+		t.Fatalf("caps = %d slots", len(caps))
+	}
+	for _, c := range caps {
+		if c != 10 {
+			t.Fatalf("cap = %v, want 10", c)
+		}
+	}
+}
+
+func TestFlowHashStable(t *testing.T) {
+	if FlowHash(1, 2, 3) != FlowHash(1, 2, 3) {
+		t.Fatal("hash not deterministic")
+	}
+	if FlowHash(1, 2, 3) == FlowHash(1, 2, 4) {
+		t.Fatal("salt ignored")
+	}
+	if FlowHash(1, 2, 3) == FlowHash(2, 1, 3) {
+		t.Fatal("direction ignored")
+	}
+}

@@ -1,0 +1,138 @@
+package routing
+
+import (
+	"testing"
+
+	"flattree/internal/core"
+	"flattree/internal/topo"
+)
+
+func closRealization(t *testing.T) *core.Realization {
+	t.Helper()
+	nw, err := core.ExampleNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetMode(core.ModeClos)
+	return nw.Realize()
+}
+
+func TestTwoLevelDeliversAllPairs(t *testing.T) {
+	r := closRealization(t)
+	tl, err := BuildTwoLevel(r.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := r.Topo.Servers()
+	for _, src := range servers {
+		for _, dst := range servers {
+			if src == dst {
+				continue
+			}
+			path, err := tl.Route(src, dst)
+			if err != nil {
+				t.Fatalf("%d->%d: %v", src, dst, err)
+			}
+			if path[len(path)-1] != r.Topo.AttachedSwitch(dst) {
+				t.Fatalf("%d->%d ended at %d, want %d", src, dst,
+					path[len(path)-1], r.Topo.AttachedSwitch(dst))
+			}
+			// Clos paths: 1 (intra-rack), 3 (intra-pod), or 5 switches.
+			if n := len(path); n != 1 && n != 3 && n != 5 {
+				t.Fatalf("%d->%d path %v has %d switches", src, dst, path, n)
+			}
+		}
+	}
+}
+
+func TestTwoLevelSpreadsUplinks(t *testing.T) {
+	// Different destination suffixes must use different uplinks from the
+	// same edge switch (the whole point of the suffix table).
+	r := closRealization(t)
+	tl, err := BuildTwoLevel(r.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := r.Topo.Servers()
+	src := servers[0]
+	used := map[int]bool{}
+	// Destinations in a different pod: the first hop is an uplink.
+	for _, dst := range servers {
+		if r.Topo.PodOf(dst) == r.Topo.PodOf(src) {
+			continue
+		}
+		link, deliver, ok := tl.NextHop(r.Topo.AttachedSwitch(src), dst)
+		if !ok || deliver {
+			t.Fatalf("unexpected next hop for %d", dst)
+		}
+		used[link] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("suffix hashing used %d distinct uplinks, want >= 2", len(used))
+	}
+}
+
+func TestTwoLevelRejectsFlattenedModes(t *testing.T) {
+	nw, err := core.ExampleNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetMode(core.ModeGlobal)
+	r := nw.Realize()
+	if _, err := BuildTwoLevel(r.Topo); err == nil {
+		t.Fatal("two-level routing accepted a flattened topology")
+	}
+}
+
+func TestTwoLevelTableSizesConstant(t *testing.T) {
+	// Table sizes depend on topology, not on traffic: an edge switch
+	// holds one prefix (itself) plus its uplinks; totals stay tiny
+	// compared to the per-pair state of k-shortest-path routing.
+	r := closRealization(t)
+	tl, err := BuildTwoLevel(r.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := tl.TableSizes()
+	for _, e := range r.Topo.Edges() {
+		if sizes[e][0] != 1 {
+			t.Fatalf("edge %d prefix entries = %d, want 1", e, sizes[e][0])
+		}
+		if sizes[e][1] != 2 {
+			t.Fatalf("edge %d uplinks = %d, want 2", e, sizes[e][1])
+		}
+	}
+	for _, c := range r.Topo.Cores() {
+		// A core switch must know a route to every edge switch.
+		if sizes[c][0] != len(r.Topo.Edges()) {
+			t.Fatalf("core %d prefixes = %d, want %d", c, sizes[c][0], len(r.Topo.Edges()))
+		}
+	}
+}
+
+func TestTwoLevelOnLargerClos(t *testing.T) {
+	p, err := topo.Table2ByName("topo-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := topo.BuildClos(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := BuildTwoLevel(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := ct.Servers()
+	// Sample pairs across pods.
+	for i := 0; i < len(servers); i += 97 {
+		for j := len(servers) - 1; j >= 0; j -= 101 {
+			if i == j {
+				continue
+			}
+			if _, err := tl.Route(servers[i], servers[j]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package topo
+
+import "fmt"
+
+// ClosParams parameterizes a generic 3-layer Clos network as in Table 2 of
+// the paper. All counts are per the roles they name; derived quantities are
+// validated by Build.
+type ClosParams struct {
+	Name           string
+	Pods           int // number of pods
+	EdgesPerPod    int // d in the paper
+	AggsPerPod     int // d/r in the paper
+	ServersPerEdge int // edge downlinks
+	EdgeUplinks    int // edge uplink ports (to aggs in the pod)
+	AggUplinks     int // h in the paper: agg uplink ports (to core)
+	Cores          int // number of core switches
+}
+
+// R returns r, the number of edge switches per aggregation switch.
+func (p ClosParams) R() int { return p.EdgesPerPod / p.AggsPerPod }
+
+// CoreDownlinks returns the number of downlinks per core switch.
+func (p ClosParams) CoreDownlinks() int {
+	return p.Pods * p.AggsPerPod * p.AggUplinks / p.Cores
+}
+
+// EdgeAggMultiplicity returns how many parallel links connect each
+// edge-agg pair within a pod.
+func (p ClosParams) EdgeAggMultiplicity() int { return p.EdgeUplinks / p.AggsPerPod }
+
+// TotalServers returns the server count.
+func (p ClosParams) TotalServers() int { return p.Pods * p.EdgesPerPod * p.ServersPerEdge }
+
+// Validate checks that the parameters describe a consistent Clos network.
+func (p ClosParams) Validate() error {
+	if p.Pods <= 0 || p.EdgesPerPod <= 0 || p.AggsPerPod <= 0 || p.Cores <= 0 {
+		return fmt.Errorf("clos %q: nonpositive counts", p.Name)
+	}
+	if p.EdgesPerPod%p.AggsPerPod != 0 {
+		return fmt.Errorf("clos %q: edges per pod %d not a multiple of aggs per pod %d",
+			p.Name, p.EdgesPerPod, p.AggsPerPod)
+	}
+	if p.EdgeUplinks%p.AggsPerPod != 0 {
+		return fmt.Errorf("clos %q: edge uplinks %d not divisible by aggs per pod %d",
+			p.Name, p.EdgeUplinks, p.AggsPerPod)
+	}
+	if p.EdgeUplinks*p.EdgesPerPod != p.AggsPerPod*p.aggDownlinks() {
+		return fmt.Errorf("clos %q: pod-internal port mismatch", p.Name)
+	}
+	if (p.Pods*p.AggsPerPod*p.AggUplinks)%p.Cores != 0 {
+		return fmt.Errorf("clos %q: agg uplinks %d not divisible by cores %d",
+			p.Name, p.Pods*p.AggsPerPod*p.AggUplinks, p.Cores)
+	}
+	return nil
+}
+
+func (p ClosParams) aggDownlinks() int { return p.EdgesPerPod * p.EdgeAggMultiplicity() }
+
+// BuildClos constructs the Clos network described by p. The pod-core wiring
+// follows Figure 4a: aggregation switch i in every pod connects its h
+// uplinks consecutively to core switches starting at (i*h) mod Cores.
+func BuildClos(p ClosParams) (*Topology, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := NewTopology(p.Name)
+	t.SetNumPods(p.Pods)
+
+	edges := make([][]int, p.Pods) // [pod][localIndex] -> node ID
+	aggs := make([][]int, p.Pods)
+	cores := make([]int, p.Cores)
+	for c := 0; c < p.Cores; c++ {
+		cores[c] = t.AddNode(Core, -1)
+	}
+	for pod := 0; pod < p.Pods; pod++ {
+		edges[pod] = make([]int, p.EdgesPerPod)
+		aggs[pod] = make([]int, p.AggsPerPod)
+		for j := 0; j < p.EdgesPerPod; j++ {
+			id := t.AddNode(Edge, pod)
+			t.Nodes[id].LocalIndex = j
+			edges[pod][j] = id
+		}
+		for i := 0; i < p.AggsPerPod; i++ {
+			id := t.AddNode(Agg, pod)
+			t.Nodes[id].LocalIndex = i
+			aggs[pod][i] = id
+		}
+		// Servers.
+		for j := 0; j < p.EdgesPerPod; j++ {
+			for s := 0; s < p.ServersPerEdge; s++ {
+				sv := t.AddNode(Server, pod)
+				t.AttachServer(sv, edges[pod][j])
+			}
+		}
+		// Pod-internal edge-agg full mesh with multiplicity.
+		mult := p.EdgeAggMultiplicity()
+		for j := 0; j < p.EdgesPerPod; j++ {
+			for i := 0; i < p.AggsPerPod; i++ {
+				for m := 0; m < mult; m++ {
+					t.AddLink(edges[pod][j], aggs[pod][i])
+				}
+			}
+		}
+		// Pod-core wiring (Figure 4a).
+		for i := 0; i < p.AggsPerPod; i++ {
+			for u := 0; u < p.AggUplinks; u++ {
+				c := (i*p.AggUplinks + u) % p.Cores
+				t.AddLink(aggs[pod][i], cores[c])
+			}
+		}
+	}
+	return t, nil
+}
+
+// FatTree returns the ClosParams of a k-ary fat-tree (Al-Fares et al.).
+func FatTree(k int) ClosParams {
+	return ClosParams{
+		Name:           fmt.Sprintf("fat-tree-k%d", k),
+		Pods:           k,
+		EdgesPerPod:    k / 2,
+		AggsPerPod:     k / 2,
+		ServersPerEdge: k / 2,
+		EdgeUplinks:    k / 2,
+		AggUplinks:     k / 2,
+		Cores:          (k / 2) * (k / 2),
+	}
+}
+
+// Table2 returns the six flat-tree base Clos topologies evaluated in the
+// paper (Table 2), keyed topo-1 .. topo-6.
+//
+// The pod decomposition is derived from the port counts: topo-1/2/3/5 have
+// equal edge and agg counts per pod; topo-4/6 have r=2 (two edge switches
+// per agg switch). Note: Table 2 prints topo-6's aggregation tuple as
+// (32,16); consistency with "OR at AS = 2" and with the stated derivation
+// from topo-5 requires (16,32), which is what we build.
+func Table2() []ClosParams {
+	return []ClosParams{
+		{Name: "topo-1", Pods: 16, EdgesPerPod: 8, AggsPerPod: 8, ServersPerEdge: 32, EdgeUplinks: 8, AggUplinks: 8, Cores: 64},
+		{Name: "topo-2", Pods: 12, EdgesPerPod: 6, AggsPerPod: 6, ServersPerEdge: 24, EdgeUplinks: 6, AggUplinks: 6, Cores: 36},
+		{Name: "topo-3", Pods: 16, EdgesPerPod: 8, AggsPerPod: 8, ServersPerEdge: 64, EdgeUplinks: 8, AggUplinks: 8, Cores: 64},
+		{Name: "topo-4", Pods: 8, EdgesPerPod: 16, AggsPerPod: 8, ServersPerEdge: 32, EdgeUplinks: 8, AggUplinks: 16, Cores: 32},
+		{Name: "topo-5", Pods: 16, EdgesPerPod: 8, AggsPerPod: 8, ServersPerEdge: 32, EdgeUplinks: 16, AggUplinks: 8, Cores: 64},
+		{Name: "topo-6", Pods: 8, EdgesPerPod: 16, AggsPerPod: 8, ServersPerEdge: 32, EdgeUplinks: 16, AggUplinks: 16, Cores: 32},
+	}
+}
+
+// Table2ByName returns the named Table 2 topology parameters.
+func Table2ByName(name string) (ClosParams, error) {
+	for _, p := range Table2() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return ClosParams{}, fmt.Errorf("topo: unknown Table 2 topology %q", name)
+}

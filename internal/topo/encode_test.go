@@ -1,0 +1,78 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := BuildClos(FatTree(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.NumPods() != orig.NumPods() {
+		t.Fatalf("metadata lost: %s/%d", back.Name, back.NumPods())
+	}
+	if back.G.NumNodes() != orig.G.NumNodes() {
+		t.Fatalf("nodes %d, want %d", back.G.NumNodes(), orig.G.NumNodes())
+	}
+	if back.G.NumLinks() != orig.G.NumLinks() {
+		t.Fatalf("links %d, want %d", back.G.NumLinks(), orig.G.NumLinks())
+	}
+	for _, s := range orig.Servers() {
+		if back.AttachedSwitch(s) != orig.AttachedSwitch(s) {
+			t.Fatalf("server %d attachment changed", s)
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Node roles preserved.
+	for i, n := range orig.Nodes {
+		if back.Nodes[i].Kind != n.Kind || back.Nodes[i].Pod != n.Pod {
+			t.Fatalf("node %d role changed", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":"x","nodes":[{"id":0,"kind":"alien","pod":0}]}`,
+		`{"name":"x","nodes":[{"id":5,"kind":"edge","pod":0}]}`,
+		`{"name":"x","nodes":[{"id":0,"kind":"edge","pod":0}],"links":[{"a":0,"b":9}]}`,
+		`{"name":"x","nodes":[{"id":0,"kind":"server","pod":0,"attachedTo":7}]}`,
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	ft, _ := BuildClos(FatTree(4))
+	var buf bytes.Buffer
+	if err := ft.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph", "cluster_pod0", "cluster_pod3", " -- "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q", want)
+		}
+	}
+	// One node statement per node, one edge per link.
+	if got := strings.Count(out, " -- "); got != ft.G.NumLinks() {
+		t.Fatalf("edges = %d, want %d", got, ft.G.NumLinks())
+	}
+}

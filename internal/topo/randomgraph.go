@@ -1,0 +1,283 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomGraphParams describes a Jellyfish-style random graph network built
+// from the same equipment as a Clos network: the same switches (with their
+// total port counts) and the same servers, with servers distributed
+// uniformly across all switches and the remaining ports wired into a random
+// graph (Singla et al., NSDI'12).
+type RandomGraphParams struct {
+	Name     string
+	Switches []int // port count of each switch
+	Servers  int
+	Seed     int64
+}
+
+// FromClosEquipment derives the random-graph equipment list from a Clos
+// parameterization: every edge, aggregation, and core switch contributes its
+// total port count.
+func FromClosEquipment(p ClosParams) RandomGraphParams {
+	var ports []int
+	for i := 0; i < p.Pods*p.EdgesPerPod; i++ {
+		ports = append(ports, p.ServersPerEdge+p.EdgeUplinks)
+	}
+	for i := 0; i < p.Pods*p.AggsPerPod; i++ {
+		ports = append(ports, p.aggDownlinks()+p.AggUplinks)
+	}
+	for i := 0; i < p.Cores; i++ {
+		ports = append(ports, p.CoreDownlinks())
+	}
+	return RandomGraphParams{
+		Name:     p.Name + "-rg",
+		Switches: ports,
+		Servers:  p.TotalServers(),
+	}
+}
+
+// pairing matches port stubs into switch-index pairs, avoiding self-links
+// and parallel links where possible, with Jellyfish-style swap fixups for
+// stranded stubs. It operates purely on indices; callers materialize links.
+type pairing struct {
+	rng   *rand.Rand
+	pairs [][2]int
+	used  map[[2]int]bool
+}
+
+func newPairing(rng *rand.Rand) *pairing {
+	return &pairing{rng: rng, used: make(map[[2]int]bool)}
+}
+
+func canonPair(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (pm *pairing) add(a, b int) {
+	pm.pairs = append(pm.pairs, [2]int{a, b})
+	pm.used[canonPair(a, b)] = true
+}
+
+// run pairs the given stubs (switch indices, one entry per free port).
+// okPair reports whether two stubs may be joined (beyond the built-in
+// self-link and parallel-link checks).
+func (pm *pairing) run(stubs []int, okPair func(a, b int) bool) {
+	pm.rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	var leftover []int
+	for len(stubs) >= 2 {
+		a := stubs[len(stubs)-1]
+		stubs = stubs[:len(stubs)-1]
+		found := -1
+		for i := len(stubs) - 1; i >= 0; i-- {
+			b := stubs[i]
+			if b != a && !pm.used[canonPair(a, b)] && (okPair == nil || okPair(a, b)) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			leftover = append(leftover, a)
+			continue
+		}
+		b := stubs[found]
+		stubs = append(stubs[:found], stubs[found+1:]...)
+		pm.add(a, b)
+	}
+	leftover = append(leftover, stubs...)
+
+	// Fixup: for each leftover stub pair (x, y), break an existing pair
+	// (u, v) disjoint from {x, y} and rewire as (x, u) and (y, v).
+	for len(leftover) >= 2 {
+		x := leftover[len(leftover)-1]
+		y := leftover[len(leftover)-2]
+		leftover = leftover[:len(leftover)-2]
+		if len(pm.pairs) == 0 {
+			break
+		}
+		for attempt := 0; attempt < 500; attempt++ {
+			i := pm.rng.Intn(len(pm.pairs))
+			u, v := pm.pairs[i][0], pm.pairs[i][1]
+			if u == x || u == y || v == x || v == y {
+				continue
+			}
+			if pm.used[canonPair(x, u)] || pm.used[canonPair(y, v)] {
+				continue
+			}
+			if okPair != nil && (!okPair(x, u) || !okPair(y, v)) {
+				continue
+			}
+			// Remove (u, v), add (x, u) and (y, v).
+			delete(pm.used, canonPair(u, v))
+			pm.pairs[i] = pm.pairs[len(pm.pairs)-1]
+			pm.pairs = pm.pairs[:len(pm.pairs)-1]
+			pm.add(x, u)
+			pm.add(y, v)
+			break
+		}
+		// If no fixup was found the stubs stay open; random graphs
+		// tolerate a few unused ports.
+	}
+}
+
+// BuildRandomGraph constructs the random graph network. Servers are spread
+// uniformly (the first servers%switches switches get one extra); leftover
+// switch ports are paired uniformly at random into switch-to-switch links.
+func BuildRandomGraph(p RandomGraphParams) (*Topology, error) {
+	n := len(p.Switches)
+	if n == 0 {
+		return nil, fmt.Errorf("randomgraph %q: no switches", p.Name)
+	}
+	t := NewTopology(p.Name)
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	sw := make([]int, n)
+	for i := range sw {
+		sw[i] = t.AddNode(Edge, -1) // all switches are equal in a random graph
+		t.Nodes[sw[i]].LocalIndex = i
+	}
+	base, extra := p.Servers/n, p.Servers%n
+	var stubs []int
+	for i := range sw {
+		cnt := base
+		if i < extra {
+			cnt++
+		}
+		if cnt > p.Switches[i] {
+			return nil, fmt.Errorf("randomgraph %q: switch %d has %d ports < %d servers",
+				p.Name, i, p.Switches[i], cnt)
+		}
+		for s := 0; s < cnt; s++ {
+			sv := t.AddNode(Server, -1)
+			t.AttachServer(sv, sw[i])
+		}
+		for k := 0; k < p.Switches[i]-cnt; k++ {
+			stubs = append(stubs, i)
+		}
+	}
+	pm := newPairing(rng)
+	pm.run(stubs, nil)
+	for _, pr := range pm.pairs {
+		t.AddLink(sw[pr[0]], sw[pr[1]])
+	}
+	return t, nil
+}
+
+// TwoStageParams describes the two-stage (regional) random graph of the
+// paper's §2.1: a random graph inside each pod, and a second random graph
+// connecting pods (as super nodes) and core switches.
+type TwoStageParams struct {
+	Name string
+	Clos ClosParams // source equipment
+	Seed int64
+}
+
+// BuildTwoStageRandomGraph constructs the two-stage random graph from Clos
+// equipment. Per pod: the pod's edge and aggregation switches each host an
+// equal share of the pod's servers (core switches take no servers, §2.1);
+// each pod keeps as many uplink stubs toward the global layer as its Clos
+// counterpart had, spread evenly over its switches; the remaining ports
+// form an intra-pod random graph. The global layer pairs pod uplink stubs
+// with core stubs (and other pods' stubs) uniformly at random, never
+// joining two stubs of the same pod.
+func BuildTwoStageRandomGraph(p TwoStageParams) (*Topology, error) {
+	cp := p.Clos
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	t := NewTopology(p.Name)
+	t.SetNumPods(cp.Pods)
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	perPodSwitches := cp.EdgesPerPod + cp.AggsPerPod
+	podUplinksTotal := cp.AggsPerPod * cp.AggUplinks
+	serversPerPod := cp.EdgesPerPod * cp.ServersPerEdge
+
+	// Global stubs are encoded as node IDs with a pod tag for the
+	// same-pod exclusion rule.
+	type gnode struct {
+		id  int
+		pod int
+	}
+	var gnodes []gnode // distinct endpoints in the global pairing
+	var gstubs []int   // indices into gnodes, one per port
+	addGlobal := func(id, pod, count int) {
+		gi := len(gnodes)
+		gnodes = append(gnodes, gnode{id, pod})
+		for k := 0; k < count; k++ {
+			gstubs = append(gstubs, gi)
+		}
+	}
+
+	for c := 0; c < cp.Cores; c++ {
+		id := t.AddNode(Core, -1)
+		addGlobal(id, -1, cp.CoreDownlinks())
+	}
+
+	for pod := 0; pod < cp.Pods; pod++ {
+		var swIDs []int
+		var ports []int
+		for j := 0; j < cp.EdgesPerPod; j++ {
+			id := t.AddNode(Edge, pod)
+			t.Nodes[id].LocalIndex = j
+			swIDs = append(swIDs, id)
+			ports = append(ports, cp.ServersPerEdge+cp.EdgeUplinks)
+		}
+		for i := 0; i < cp.AggsPerPod; i++ {
+			id := t.AddNode(Agg, pod)
+			t.Nodes[id].LocalIndex = i
+			swIDs = append(swIDs, id)
+			ports = append(ports, cp.aggDownlinks()+cp.AggUplinks)
+		}
+		base, extra := serversPerPod/perPodSwitches, serversPerPod%perPodSwitches
+		for i, id := range swIDs {
+			cnt := base
+			if i < extra {
+				cnt++
+			}
+			for s := 0; s < cnt; s++ {
+				sv := t.AddNode(Server, pod)
+				t.AttachServer(sv, id)
+			}
+			ports[i] -= cnt
+		}
+		upBase, upExtra := podUplinksTotal/perPodSwitches, podUplinksTotal%perPodSwitches
+		for i, id := range swIDs {
+			cnt := upBase
+			if i < upExtra {
+				cnt++
+			}
+			if cnt > ports[i] {
+				return nil, fmt.Errorf("twostage %q: pod %d switch %d lacks uplink ports", p.Name, pod, i)
+			}
+			addGlobal(id, pod, cnt)
+			ports[i] -= cnt
+		}
+		// Intra-pod random graph over remaining ports.
+		var stubs []int
+		for i, f := range ports {
+			for k := 0; k < f; k++ {
+				stubs = append(stubs, i)
+			}
+		}
+		pm := newPairing(rng)
+		pm.run(stubs, nil)
+		for _, pr := range pm.pairs {
+			t.AddLink(swIDs[pr[0]], swIDs[pr[1]])
+		}
+	}
+
+	gp := newPairing(rng)
+	gp.run(gstubs, func(a, b int) bool {
+		pa, pb := gnodes[a].pod, gnodes[b].pod
+		return pa < 0 || pb < 0 || pa != pb
+	})
+	for _, pr := range gp.pairs {
+		t.AddLink(gnodes[pr[0]].id, gnodes[pr[1]].id)
+	}
+	return t, nil
+}

@@ -1,0 +1,44 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace persistence: flows serialize to JSON lines so external tools (or
+// real captured traces converted offline) can be replayed through the
+// simulators.
+
+// SaveFlows writes flows as a JSON array.
+func SaveFlows(w io.Writer, flows []Flow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(flows)
+}
+
+// LoadFlows reads a JSON array of flows and validates it against the
+// server count.
+func LoadFlows(r io.Reader, servers int) ([]Flow, error) {
+	var flows []Flow
+	if err := json.NewDecoder(r).Decode(&flows); err != nil {
+		return nil, fmt.Errorf("traffic: decoding flows: %w", err)
+	}
+	last := 0.0
+	for i, f := range flows {
+		if f.Src < 0 || f.Src >= servers || f.Dst < 0 || f.Dst >= servers {
+			return nil, fmt.Errorf("traffic: flow %d endpoints (%d, %d) outside %d servers", i, f.Src, f.Dst, servers)
+		}
+		if f.Src == f.Dst {
+			return nil, fmt.Errorf("traffic: flow %d is a self-flow", i)
+		}
+		if f.Bits <= 0 {
+			return nil, fmt.Errorf("traffic: flow %d has size %v", i, f.Bits)
+		}
+		if f.Arrival < last {
+			return nil, fmt.Errorf("traffic: flow %d arrivals not sorted", i)
+		}
+		last = f.Arrival
+	}
+	return flows, nil
+}
