@@ -3,29 +3,40 @@
 // This is the one-shot reproduction harness; see EXPERIMENTS.md for the
 // recorded paper-versus-measured comparison.
 //
+// Telemetry is always on: the run ends with a per-experiment wall-time
+// table (from the experiment root spans) and the simulator/solver event
+// counters, the source data for the bench trajectory (BENCH_*.json).
+//
 // Usage:
 //
-//	benchtables            # reduced scale, all experiments (minutes)
-//	benchtables -full      # paper scale (hours)
+//	benchtables                  # reduced scale, all experiments (minutes)
+//	benchtables -full            # paper scale (hours)
+//	benchtables -telemetry b.json  # also write the full JSON snapshot
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"flattree/internal/experiments"
+	"flattree/internal/metrics"
+	"flattree/internal/telemetry"
 )
 
 func main() {
 	var (
-		full    = flag.Bool("full", false, "paper-scale topologies (slow)")
-		seed    = flag.Int64("seed", 1, "seed for all stochastic components")
-		epsilon = flag.Float64("epsilon", 0.25, "LP approximation accuracy")
+		full     = flag.Bool("full", false, "paper-scale topologies (slow)")
+		seed     = flag.Int64("seed", 1, "seed for all stochastic components")
+		epsilon  = flag.Float64("epsilon", 0.25, "LP approximation accuracy")
+		telemOut = flag.String("telemetry", "", "write the JSON telemetry snapshot to this file, or '-' for stdout")
 	)
 	flag.Parse()
 	cfg := experiments.Config{Full: *full, Seed: *seed, Epsilon: *epsilon}
+	reg := telemetry.Enable()
 
 	order := []string{
 		"table1", "table2", "fig5", "fig6", "fig7", "fig8",
@@ -46,8 +57,70 @@ func main() {
 		fmt.Println(res.String())
 		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Printf("all experiments done in %v, %d failures\n", time.Since(grand).Round(time.Second), failures)
+	fmt.Printf("all experiments done in %v, %d failures\n\n", time.Since(grand).Round(time.Second), failures)
+
+	snap := reg.Snapshot()
+	fmt.Println(summarize(snap))
+	if *telemOut != "" {
+		if err := writeSnapshot(snap, *telemOut); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: telemetry snapshot: %v\n", err)
+			failures++
+		}
+	}
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// summarize renders the run's telemetry: per-experiment wall time from the
+// root spans, then every counter — the event totals that make run-to-run
+// performance comparable.
+func summarize(snap *telemetry.Snapshot) string {
+	st := &metrics.Table{Header: []string{"experiment", "wall time (s)", "conversions"}}
+	for _, sp := range snap.Spans {
+		name, ok := strings.CutPrefix(sp.Name, "experiment:")
+		if !ok {
+			continue
+		}
+		st.Add(name, fmt.Sprintf("%.3f", sp.DurationSeconds), countSpans(sp.Children, "conversion"))
+	}
+	out := "== telemetry: per-experiment wall time ==\n" + st.String()
+
+	ct := &metrics.Table{Header: []string{"counter", "value"}}
+	keys := make([]string, 0, len(snap.Counters))
+	for k := range snap.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ct.Add(k, snap.Counters[k])
+	}
+	return out + "\n== telemetry: event counters ==\n" + ct.String()
+}
+
+// countSpans counts spans with the given name anywhere under the nodes.
+func countSpans(spans []telemetry.SpanSnapshot, name string) int {
+	n := 0
+	for _, s := range spans {
+		if s.Name == name {
+			n++
+		}
+		n += countSpans(s.Children, name)
+	}
+	return n
+}
+
+func writeSnapshot(snap *telemetry.Snapshot, dst string) error {
+	if dst == "-" {
+		return snap.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,26 +7,36 @@
 //	flatsim -exp fig8 -full            # paper scale (slow)
 //	flatsim -exp all                   # every experiment in sequence
 //	flatsim -list                      # show experiment IDs
+//	flatsim -exp table3 -telemetry -   # JSON telemetry snapshot to stdout
+//	flatsim -exp fig8 -prom metrics.prom -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"flattree/internal/experiments"
+	"flattree/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID to run (or 'all')")
-		full    = flag.Bool("full", false, "run at paper scale (topo-1..6, k=16 fat-tree); slow")
-		seed    = flag.Int64("seed", 1, "seed for all stochastic components")
-		epsilon = flag.Float64("epsilon", 0.25, "LP approximation accuracy (smaller = tighter, slower)")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		csvDir  = flag.String("csv", "", "also write figure series as CSV files into this directory (fig8, fig10)")
+		exp       = flag.String("exp", "", "experiment ID to run (or 'all', or a comma-separated list)")
+		full      = flag.Bool("full", false, "run at paper scale (topo-1..6, k=16 fat-tree); slow")
+		seed      = flag.Int64("seed", 1, "seed for all stochastic components")
+		epsilon   = flag.Float64("epsilon", 0.25, "LP approximation accuracy (smaller = tighter, slower)")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		csvDir    = flag.String("csv", "", "also write figure series as CSV files into this directory (fig8, fig10)")
+		telemOut  = flag.String("telemetry", "", "write a JSON telemetry snapshot (metrics, traces) to this file, or '-' for stdout")
+		promOut   = flag.String("prom", "", "write Prometheus text-exposition metrics to this file, or '-' for stdout")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 	)
 	flag.Parse()
 
@@ -38,12 +48,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "flatsim: -exp required (use -list to see experiments)")
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Full: *full, Seed: *seed, Epsilon: *epsilon}
-
-	names := []string{*exp}
-	if *exp == "all" {
-		names = experiments.Names()
+	names, err := resolveExperiments(*exp, experiments.Names())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flatsim: %v\n", err)
+		os.Exit(2)
 	}
+
+	var reg *telemetry.Registry
+	if *telemOut != "" || *promOut != "" {
+		reg = telemetry.Enable()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "flatsim: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "flatsim: pprof at http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	cfg := experiments.Config{Full: *full, Seed: *seed, Epsilon: *epsilon}
 	for _, name := range names {
 		start := time.Now()
 		var res experiments.Result
@@ -60,4 +84,75 @@ func main() {
 		fmt.Println(res.String())
 		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+
+	if err := writeTelemetry(reg, *telemOut, *promOut); err != nil {
+		fmt.Fprintf(os.Stderr, "flatsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// resolveExperiments expands and validates the -exp argument against the
+// registered IDs: "all" selects every experiment, a comma-separated list
+// selects several, and any unknown ID is an error naming the valid ones.
+func resolveExperiments(arg string, valid []string) ([]string, error) {
+	known := make(map[string]bool, len(valid))
+	for _, v := range valid {
+		known[v] = true
+	}
+	sorted := append([]string(nil), valid...)
+	sort.Strings(sorted)
+
+	var names []string
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		switch {
+		case name == "":
+			continue
+		case name == "all":
+			names = append(names, sorted...)
+		case known[name]:
+			names = append(names, name)
+		default:
+			return nil, fmt.Errorf("unknown experiment %q; valid IDs:\n  %s",
+				name, strings.Join(sorted, "\n  "))
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no experiment selected; valid IDs:\n  %s", strings.Join(sorted, "\n  "))
+	}
+	return names, nil
+}
+
+// writeTelemetry dumps the run's telemetry in the requested formats;
+// "-" targets stdout.
+func writeTelemetry(reg *telemetry.Registry, jsonOut, promOut string) error {
+	if reg == nil {
+		return nil
+	}
+	if jsonOut != "" {
+		if err := writeTo(jsonOut, reg.WriteJSON); err != nil {
+			return fmt.Errorf("telemetry snapshot: %w", err)
+		}
+	}
+	if promOut != "" {
+		if err := writeTo(promOut, reg.WritePrometheus); err != nil {
+			return fmt.Errorf("prometheus export: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeTo(dst string, write func(w io.Writer) error) error {
+	if dst == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"flattree/internal/experiments"
+)
+
+func TestResolveExperiments(t *testing.T) {
+	valid := []string{"table1", "table3", "fig8"}
+	for _, tc := range []struct {
+		arg  string
+		want []string
+	}{
+		{"table1", []string{"table1"}},
+		{"table3,fig8", []string{"table3", "fig8"}},
+		{" table1 , fig8 ", []string{"table1", "fig8"}},
+		{"all", []string{"fig8", "table1", "table3"}},
+	} {
+		got, err := resolveExperiments(tc.arg, valid)
+		if err != nil {
+			t.Fatalf("resolveExperiments(%q): %v", tc.arg, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("resolveExperiments(%q) = %v, want %v", tc.arg, got, tc.want)
+		}
+	}
+}
+
+func TestResolveExperimentsUnknownListsValidIDs(t *testing.T) {
+	valid := []string{"table1", "table3", "fig8"}
+	_, err := resolveExperiments("tabel3", valid)
+	if err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"tabel3"`) {
+		t.Fatalf("error does not name the bad ID: %q", msg)
+	}
+	for _, v := range valid {
+		if !strings.Contains(msg, v) {
+			t.Fatalf("error does not list valid ID %q: %q", v, msg)
+		}
+	}
+}
+
+func TestResolveExperimentsEmpty(t *testing.T) {
+	for _, arg := range []string{"", " , ,"} {
+		if _, err := resolveExperiments(arg, []string{"table1"}); err == nil {
+			t.Fatalf("resolveExperiments(%q) did not error", arg)
+		}
+	}
+}
+
+// TestResolveAgainstRegistry pins the helper to the live registry: every
+// registered ID resolves, and "all" covers the whole registry.
+func TestResolveAgainstRegistry(t *testing.T) {
+	names := experiments.Names()
+	if len(names) == 0 {
+		t.Fatal("no registered experiments")
+	}
+	all, err := resolveExperiments("all", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(names) {
+		t.Fatalf("all resolved to %d of %d experiments", len(all), len(names))
+	}
+	for _, n := range names {
+		if _, err := resolveExperiments(n, names); err != nil {
+			t.Fatalf("registered ID %q did not resolve: %v", n, err)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"flattree/internal/core"
 	"flattree/internal/routing"
+	"flattree/internal/telemetry"
 )
 
 // DelayModel captures the testbed's conversion latency components. Times
@@ -30,6 +31,11 @@ type DelayModel struct {
 	// parallel: rule time is then driven by the busiest switch instead of
 	// the total.
 	Parallel bool
+	// Ramp is the modeled time for transport throughput to regrow after
+	// the new rules land (MPTCP slow-start recovery, Figure 10's 2–2.5 s
+	// to maximum). It is reported in conversion traces and reports but is
+	// not part of Total, which models only the data-plane update.
+	Ramp float64
 }
 
 // TestbedDelayModel returns the delay constants calibrated to Table 3:
@@ -37,7 +43,7 @@ type DelayModel struct {
 // global across all switches) and ≈0.1 ms per batched rule operation,
 // conversions complete in roughly one second, matching §5.3.
 func TestbedDelayModel() DelayModel {
-	return DelayModel{OCSReconfig: 0.160, PerRuleDelete: 0.000090, PerRuleAdd: 0.000090}
+	return DelayModel{OCSReconfig: 0.160, PerRuleDelete: 0.000090, PerRuleAdd: 0.000090, Ramp: 1.2}
 }
 
 // ConversionReport breaks down one topology conversion (Table 3's rows).
@@ -51,6 +57,9 @@ type ConversionReport struct {
 	// OCSTime, DeleteTime, AddTime, Total are the latency components in
 	// seconds (Total = OCS + Delete + Add, sequential as on the testbed).
 	OCSTime, DeleteTime, AddTime, Total float64
+	// RampTime is the modeled transport-throughput regrow time after the
+	// rules land (DelayModel.Ramp); reported but excluded from Total.
+	RampTime float64
 	// RouteComputeTime is the measured wall time spent computing the
 	// k-shortest-path table for the new topology; zero when the table
 	// came from the §4.3 precomputed store ("the paths and the resulting
@@ -141,9 +150,11 @@ func (c *Controller) reinstall() error {
 			c.rules = cached.rules
 			c.configs = configsOf(c.nw)
 			c.lastFromCache = true
+			telemetry.C("control_route_cache_hits_total").Inc()
 			return nil
 		}
 	}
+	telemetry.C("control_route_cache_misses_total").Inc()
 	r := c.nw.Realize()
 	pruned, err := pruneFailures(r.Topo, c.failed)
 	if err != nil {
@@ -158,6 +169,7 @@ func (c *Controller) reinstall() error {
 	start := time.Now()
 	c.table = routing.BuildKShortest(c.realization.Topo, c.kForCurrent())
 	c.lastCompute = time.Since(start).Seconds()
+	telemetry.H("control_route_compute_seconds").Observe(c.lastCompute)
 	c.rules = c.table.PrefixRulesPerSwitch()
 	c.configs = configsOf(c.nw)
 	return nil
@@ -243,6 +255,8 @@ func (c *Controller) ConvertPods(modes []core.Mode) (*ConversionReport, error) {
 	if len(modes) != c.nw.Clos().Pods {
 		return nil, fmt.Errorf("control: %d modes for %d pods", len(modes), c.nw.Clos().Pods)
 	}
+	sp := telemetry.StartSpan("conversion", telemetry.Str("to", modesLabel(modes)))
+	defer sp.End()
 	from := c.nw.PodModes()
 	oldConfigs := c.configs
 	oldRules := c.rules
@@ -296,9 +310,51 @@ func (c *Controller) ConvertPods(modes []core.Mode) (*ConversionReport, error) {
 	rep.DeleteTime = float64(rep.RulesDeleted) * c.delay.PerRuleDelete
 	rep.AddTime = float64(rep.RulesAdded) * c.delay.PerRuleAdd
 	rep.Total = rep.OCSTime + rep.DeleteTime + rep.AddTime
+	rep.RampTime = c.delay.Ramp
 	rep.RouteComputeTime = c.lastCompute
 	rep.FromCache = c.lastFromCache
+
+	// Table 3 as a trace: one modeled-duration child span per conversion
+	// phase, rule churn attached where it drives the phase length.
+	sp.SetAttr(
+		telemetry.Str("from", modesLabel(from)),
+		telemetry.Int("converters_reconfigured", rep.ConvertersReconfigured),
+		telemetry.Float("modeled_total_seconds", rep.Total),
+	)
+	sp.Record("ocs", rep.OCSTime)
+	sp.Record("rule-delete", rep.DeleteTime, telemetry.Int("rules_deleted", rep.RulesDeleted))
+	sp.Record("rule-add", rep.AddTime, telemetry.Int("rules_added", rep.RulesAdded))
+	sp.Record("ramp", rep.RampTime)
+	telemetry.C("control_conversions_total").Inc()
+	telemetry.C("control_rules_deleted_total").Add(int64(rep.RulesDeleted))
+	telemetry.C("control_rules_added_total").Add(int64(rep.RulesAdded))
 	return rep, nil
+}
+
+// modesLabel renders a pod-mode vector compactly: the single mode name
+// when uniform, otherwise the per-pod list.
+func modesLabel(modes []core.Mode) string {
+	if len(modes) == 0 {
+		return ""
+	}
+	uniform := true
+	for _, m := range modes[1:] {
+		if m != modes[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return modes[0].String()
+	}
+	out := ""
+	for i, m := range modes {
+		if i > 0 {
+			out += ","
+		}
+		out += m.String()
+	}
+	return out
 }
 
 // ShardEstimate models the distributed-controller option of §4.3: with the

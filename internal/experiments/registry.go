@@ -8,6 +8,7 @@ import (
 	"flattree/internal/cost"
 	"flattree/internal/metrics"
 	"flattree/internal/routing"
+	"flattree/internal/telemetry"
 	"flattree/internal/topo"
 )
 
@@ -239,14 +240,19 @@ var registry = map[string]func(Config) (string, error){
 }
 
 // Run executes a registered experiment by ID and returns the rendered
-// result.
+// result. Every run is wrapped in a root telemetry span named
+// "experiment:<id>", so nested conversion and solver spans trace back to
+// the experiment that triggered them.
 func Run(name string, cfg Config) (Result, error) {
 	f, ok := registry[name]
 	if !ok {
 		return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
+	sp := telemetry.StartSpan("experiment:"+name, telemetry.Str("id", name))
+	defer sp.End()
 	table, err := f(cfg)
 	if err != nil {
+		sp.SetAttr(telemetry.Str("error", err.Error()))
 		return Result{}, err
 	}
 	return Result{Name: name, Table: table}, nil

@@ -14,6 +14,8 @@ package flowsim
 import (
 	"fmt"
 	"math"
+
+	"flattree/internal/telemetry"
 )
 
 // Subflow is one path of one connection in the allocator's view.
@@ -70,7 +72,9 @@ func MaxMinRates(caps []float64, subs []Subflow) ([]float64, error) {
 	}
 
 	level := 0.0 // current water level (rate per unit weight)
+	rounds := int64(0)
 	for nActive > 0 {
+		rounds++
 		// Find the link that saturates next: smallest additional level
 		// Δ = remaining[l] / linkWeight[l] over links with active load.
 		bottleneck := -1
@@ -131,6 +135,8 @@ func MaxMinRates(caps []float64, subs []Subflow) ([]float64, error) {
 			break
 		}
 	}
+	telemetry.C("flowsim_allocations_total").Inc()
+	telemetry.C("flowsim_alloc_rounds_total").Add(rounds)
 	return rates, nil
 }
 

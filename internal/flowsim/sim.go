@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"flattree/internal/telemetry"
 )
 
 // ConnSpec describes one connection entering the simulation.
@@ -82,7 +84,13 @@ func (s *Sim) Run() ([]ConnResult, error) {
 	if n == 0 {
 		return results, nil
 	}
+	// Handles are resolved once per run; nil (disabled) handles cost one
+	// predictable branch per use.
+	events := telemetry.C("flowsim_events_total")
+	completed := telemetry.C("flowsim_flows_completed_total")
+	fct := telemetry.H("flowsim_fct_seconds")
 	for {
+		events.Inc()
 		// Admit arrivals at the current time.
 		for nextArrival < n && s.specs[order[nextArrival]].Arrival <= t+1e-12 {
 			active[order[nextArrival]] = true
@@ -147,6 +155,8 @@ func (s *Sim) Run() ([]ConnResult, error) {
 			if !math.IsInf(remaining[c], 1) && (c == completing || remaining[c] <= 1e-6) {
 				results[c].Finish = t
 				delete(active, c)
+				completed.Inc()
+				fct.Observe(results[c].FCT())
 			}
 		}
 	}

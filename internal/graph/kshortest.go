@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"runtime"
 	"sync"
+
+	"flattree/internal/telemetry"
 )
 
 // KShortestPaths returns up to k loopless minimum-hop paths from src to dst
@@ -137,5 +139,11 @@ func (g *Graph) KShortestAllPairs(pairs []PairKey, k int) map[PairKey][]Path {
 	}
 	close(work)
 	wg.Wait()
+	var nPaths int64
+	for _, ps := range out {
+		nPaths += int64(len(ps))
+	}
+	telemetry.C("graph_yen_pairs_total").Add(int64(len(pairs)))
+	telemetry.C("graph_yen_paths_total").Add(nPaths)
 	return out
 }

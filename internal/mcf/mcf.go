@@ -22,8 +22,10 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 
 	"flattree/internal/graph"
+	"flattree/internal/telemetry"
 )
 
 // Commodity is one source-destination demand. Demand is in the same units
@@ -310,6 +312,8 @@ func MaxConcurrent(g *graph.Graph, comms []Commodity, opt Options) (Result, erro
 	if err := checkCommodities(g, comms); err != nil {
 		return Result{}, err
 	}
+	start := time.Now()
+	dijkstras := int64(0)
 	s := newSolver(g, comms, opt.Epsilon)
 	// Group commodities by source so one shortest-path tree per source
 	// serves every commodity of that source within a phase. Routing a
@@ -329,6 +333,7 @@ func MaxConcurrent(g *graph.Graph, comms []Commodity, opt Options) (Result, erro
 	for s.dual() < 1 {
 		for _, src := range srcs {
 			s.sssp(src)
+			dijkstras++
 			for _, j := range bySrc[src] {
 				c := comms[j]
 				if math.IsInf(s.dist[c.Dst], 1) {
@@ -347,6 +352,7 @@ func MaxConcurrent(g *graph.Graph, comms []Commodity, opt Options) (Result, erro
 						// Rare: demand above the path bottleneck.
 						// Recompute a fresh path for the remainder.
 						var ok bool
+						dijkstras++
 						arcs, _, ok = s.shortestPath(c.Src, c.Dst)
 						if !ok {
 							return Result{}, fmt.Errorf("mcf: commodity %d (%d->%d) disconnected", j, c.Src, c.Dst)
@@ -363,7 +369,17 @@ func MaxConcurrent(g *graph.Graph, comms []Commodity, opt Options) (Result, erro
 			break
 		}
 	}
+	recordSolve("concurrent", phases, dijkstras, time.Since(start))
 	return s.rescale(), nil
+}
+
+// recordSolve flushes one LP solve's telemetry: GK phase and Dijkstra
+// totals plus wall time, labeled by objective.
+func recordSolve(objective string, phases int, dijkstras int64, wall time.Duration) {
+	telemetry.C("mcf_solves_total", "objective", objective).Inc()
+	telemetry.C("mcf_phases_total", "objective", objective).Add(int64(phases))
+	telemetry.C("mcf_dijkstras_total", "objective", objective).Add(dijkstras)
+	telemetry.H("mcf_solve_seconds", "objective", objective).Observe(wall.Seconds())
 }
 
 // MaxTotal approximates the maximum total multicommodity flow ("LP
@@ -375,6 +391,9 @@ func MaxTotal(g *graph.Graph, comms []Commodity, opt Options) (Result, error) {
 	if err := checkCommodities(g, comms); err != nil {
 		return Result{}, err
 	}
+	start := time.Now()
+	phases := 0
+	dijkstras := int64(0)
 	s := newSolver(g, comms, opt.Epsilon)
 	// Fleischer's threshold scheme: sweep commodities, routing each while
 	// its shortest path stays below the rising threshold α(1+ε). Arc
@@ -387,6 +406,7 @@ func MaxTotal(g *graph.Graph, comms []Commodity, opt Options) (Result, error) {
 		reachable[i] = true
 	}
 	for alpha := s.delta(); alpha < 1; alpha *= 1 + opt.Epsilon {
+		phases++
 		limit := alpha * (1 + opt.Epsilon)
 		if limit > 1 {
 			limit = 1
@@ -396,6 +416,7 @@ func MaxTotal(g *graph.Graph, comms []Commodity, opt Options) (Result, error) {
 				continue
 			}
 			for {
+				dijkstras++
 				arcs, d, ok := s.shortestPath(c.Src, c.Dst)
 				if !ok {
 					reachable[j] = false
@@ -409,6 +430,7 @@ func MaxTotal(g *graph.Graph, comms []Commodity, opt Options) (Result, error) {
 			}
 		}
 	}
+	recordSolve("total", phases, dijkstras, time.Since(start))
 	return s.rescale(), nil
 }
 

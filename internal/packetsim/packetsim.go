@@ -32,6 +32,7 @@ import (
 	"math"
 
 	"flattree/internal/graph"
+	"flattree/internal/telemetry"
 )
 
 // Config sets the data-plane constants.
@@ -213,11 +214,15 @@ func (s *Sim) Run() ([]FlowResult, error) {
 	for fi, c := range s.conns {
 		heap.Push(&s.pq, event{at: c.spec.Start, kind: evPump, flow: fi})
 	}
+	// Events are tallied locally and flushed once: the loop body is the
+	// hottest path in the repo (one event per packet per hop).
+	var nEvents int64
 	for s.pq.Len() > 0 {
 		ev := heap.Pop(&s.pq).(event)
 		if ev.at > s.horizon {
 			break
 		}
+		nEvents++
 		s.now = ev.at
 		switch ev.kind {
 		case evPump:
@@ -234,12 +239,23 @@ func (s *Sim) Run() ([]FlowResult, error) {
 		}
 	}
 	out := make([]FlowResult, len(s.conns))
+	fct := telemetry.H("packetsim_fct_seconds")
+	var completed, drops, retx int64
 	for i, c := range s.conns {
 		if !c.done {
 			c.res.Finish = math.Inf(1)
+		} else {
+			completed++
+			fct.Observe(c.res.Finish - c.spec.Start)
 		}
+		drops += int64(c.res.Drops)
+		retx += int64(c.res.Retransmits)
 		out[i] = c.res
 	}
+	telemetry.C("packetsim_events_total").Add(nEvents)
+	telemetry.C("packetsim_flows_completed_total").Add(completed)
+	telemetry.C("packetsim_drops_total").Add(drops)
+	telemetry.C("packetsim_retransmits_total").Add(retx)
 	return out, nil
 }
 

@@ -7,8 +7,10 @@ package routing
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"flattree/internal/graph"
+	"flattree/internal/telemetry"
 	"flattree/internal/topo"
 )
 
@@ -32,6 +34,11 @@ func BuildKShortest(t *topo.Topology, k int) *Table {
 	if k < 1 {
 		panic(fmt.Sprintf("routing: k = %d", k))
 	}
+	start := time.Now()
+	defer func() {
+		telemetry.C("routing_tables_built_total").Inc()
+		telemetry.H("routing_build_seconds").Observe(time.Since(start).Seconds())
+	}()
 	ingressSet := make(map[int]bool)
 	for _, s := range t.Servers() {
 		ingressSet[t.AttachedSwitch(s)] = true

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRegistry hammers one registry from many goroutines —
+// counters, gauges, histograms, spans, and snapshots all at once — so
+// `go test -race ./internal/telemetry` exercises every lock and atomic.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const iters = 2000
+
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			// Shared and per-goroutine handles mix lookup and fast paths.
+			shared := r.Counter("shared_total")
+			own := r.Counter("per_goroutine_total", "g", fmt.Sprint(gi))
+			gauge := r.Gauge("level")
+			hist := r.Histogram("obs_seconds")
+			for i := 0; i < iters; i++ {
+				shared.Inc()
+				own.Inc()
+				gauge.Add(1)
+				hist.Observe(float64(i%100) * 1e-3)
+				if i%100 == 0 {
+					sp := r.StartSpan("work", Int("g", gi))
+					sp.Record("phase", 0.001, Int("i", i))
+					sp.End()
+				}
+				if i%500 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+
+	if got := r.Counter("shared_total").Value(); got != goroutines*iters {
+		t.Fatalf("shared counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.Gauge("level").Value(); got != goroutines*iters {
+		t.Fatalf("gauge = %v, want %d", got, goroutines*iters)
+	}
+	if got := r.Histogram("obs_seconds").Count(); got != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+	snap := r.Snapshot()
+	// Concurrent spans may nest under each other (best-effort parenting),
+	// so count the whole tree.
+	var countWork func(ss []SpanSnapshot) int
+	countWork = func(ss []SpanSnapshot) int {
+		n := 0
+		for _, s := range ss {
+			if s.Name == "work" {
+				n++
+			}
+			n += countWork(s.Children)
+		}
+		return n
+	}
+	if got, want := countWork(snap.Spans), goroutines*(iters/100); got != want {
+		t.Fatalf("work spans = %d, want %d", got, want)
+	}
+}
