@@ -24,6 +24,7 @@ import (
 
 	"flattree/internal/experiments"
 	"flattree/internal/metrics"
+	"flattree/internal/parallel"
 	"flattree/internal/telemetry"
 )
 
@@ -33,8 +34,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed for all stochastic components")
 		epsilon  = flag.Float64("epsilon", 0.25, "LP approximation accuracy")
 		telemOut = flag.String("telemetry", "", "write the JSON telemetry snapshot to this file, or '-' for stdout")
+		workers  = flag.Int("workers", 0, "worker-pool size for parallel sections (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 	cfg := experiments.Config{Full: *full, Seed: *seed, Epsilon: *epsilon}
 	reg := telemetry.Enable()
 
@@ -46,21 +49,19 @@ func main() {
 	}
 	failures := 0
 	grand := time.Now()
-	for _, name := range order {
-		start := time.Now()
-		res, err := experiments.Run(name, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchtables: %s failed: %v\n", name, err)
+	for _, oc := range experiments.RunAll(order, cfg) {
+		if oc.Err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %s failed: %v\n", oc.Name, oc.Err)
 			failures++
 			continue
 		}
-		fmt.Println(res.String())
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Println(oc.Result.String())
+		fmt.Printf("(%s in %v)\n\n", oc.Name, oc.Elapsed.Round(time.Millisecond))
 	}
 	fmt.Printf("all experiments done in %v, %d failures\n\n", time.Since(grand).Round(time.Second), failures)
 
 	snap := reg.Snapshot()
-	fmt.Println(summarize(snap))
+	fmt.Println(summarize(snap, order))
 	if *telemOut != "" {
 		if err := writeSnapshot(snap, *telemOut); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtables: telemetry snapshot: %v\n", err)
@@ -74,15 +75,26 @@ func main() {
 
 // summarize renders the run's telemetry: per-experiment wall time from the
 // root spans, then every counter — the event totals that make run-to-run
-// performance comparable.
-func summarize(snap *telemetry.Snapshot) string {
-	st := &metrics.Table{Header: []string{"experiment", "wall time (s)", "conversions"}}
+// performance comparable. Rows follow the experiment order, not the
+// schedule-dependent span collection order.
+func summarize(snap *telemetry.Snapshot, order []string) string {
+	type row struct {
+		wall        string
+		conversions int
+	}
+	rows := map[string]row{}
 	for _, sp := range snap.Spans {
 		name, ok := strings.CutPrefix(sp.Name, "experiment:")
 		if !ok {
 			continue
 		}
-		st.Add(name, fmt.Sprintf("%.3f", sp.DurationSeconds), countSpans(sp.Children, "conversion"))
+		rows[name] = row{fmt.Sprintf("%.3f", sp.DurationSeconds), countSpans(sp.Children, "conversion")}
+	}
+	st := &metrics.Table{Header: []string{"experiment", "wall time (s)", "conversions"}}
+	for _, name := range order {
+		if r, ok := rows[name]; ok {
+			st.Add(name, r.wall, r.conversions)
+		}
 	}
 	out := "== telemetry: per-experiment wall time ==\n" + st.String()
 

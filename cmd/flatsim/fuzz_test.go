@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzResolveExperiments drives the -exp argument parser with arbitrary
+// strings: it must never panic, never return an empty selection without
+// an error, and every returned name must be a registered ID.
+func FuzzResolveExperiments(f *testing.F) {
+	valid := []string{"table1", "table2", "fig6", "fig8", "ablation-k"}
+	f.Add("table1")
+	f.Add("all")
+	f.Add("table1,fig8")
+	f.Add(" fig6 , ,table2")
+	f.Add("all,all")
+	f.Add("nope")
+	f.Add(",,,")
+	f.Add("")
+	f.Add("table1,\ttable2\n")
+	f.Fuzz(func(t *testing.T, arg string) {
+		names, err := resolveExperiments(arg, valid)
+		if err != nil {
+			if names != nil {
+				t.Fatalf("resolveExperiments(%q) returned names %v alongside error %v", arg, names, err)
+			}
+			return
+		}
+		if len(names) == 0 {
+			t.Fatalf("resolveExperiments(%q) returned no names and no error", arg)
+		}
+		known := make(map[string]bool, len(valid))
+		for _, v := range valid {
+			known[v] = true
+		}
+		for _, n := range names {
+			if !known[n] {
+				t.Fatalf("resolveExperiments(%q) returned unknown name %q", arg, n)
+			}
+		}
+		// Every requested token must be accounted for: a token that is
+		// neither empty, "all", nor a known ID must have errored above.
+		for _, tok := range strings.Split(arg, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok != "" && tok != "all" && !known[tok] {
+				t.Fatalf("resolveExperiments(%q) accepted unknown token %q", arg, tok)
+			}
+		}
+	})
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"flattree/internal/experiments"
+	"flattree/internal/parallel"
 	"flattree/internal/telemetry"
 )
 
@@ -37,8 +38,10 @@ func main() {
 		telemOut  = flag.String("telemetry", "", "write a JSON telemetry snapshot (metrics, traces) to this file, or '-' for stdout")
 		promOut   = flag.String("prom", "", "write Prometheus text-exposition metrics to this file, or '-' for stdout")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
+		workers   = flag.Int("workers", 0, "worker-pool size for parallel sections (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
@@ -67,22 +70,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flatsim: pprof at http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
+	// Experiment tables go to stdout; timing and errors go to stderr, so
+	// stdout is byte-identical run to run (and across -workers values) at
+	// a fixed seed.
 	cfg := experiments.Config{Full: *full, Seed: *seed, Epsilon: *epsilon}
-	for _, name := range names {
-		start := time.Now()
-		var res experiments.Result
-		var err error
-		if *csvDir != "" {
-			res, err = experiments.RunWithCSV(name, cfg, *csvDir)
-		} else {
-			res, err = experiments.Run(name, cfg)
+	if *csvDir == "" && len(names) > 1 {
+		failed := false
+		for _, oc := range experiments.RunAll(names, cfg) {
+			if oc.Err != nil {
+				fmt.Fprintf(os.Stderr, "flatsim: %s: %v\n", oc.Name, oc.Err)
+				failed = true
+				continue
+			}
+			fmt.Println(oc.Result.String())
+			fmt.Fprintf(os.Stderr, "(%s in %v)\n", oc.Name, oc.Elapsed.Round(time.Millisecond))
 		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "flatsim: %s: %v\n", name, err)
+		if failed {
 			os.Exit(1)
 		}
-		fmt.Println(res.String())
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	} else {
+		for _, name := range names {
+			start := time.Now()
+			var res experiments.Result
+			var err error
+			if *csvDir != "" {
+				res, err = experiments.RunWithCSV(name, cfg, *csvDir)
+			} else {
+				res, err = experiments.Run(name, cfg)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flatsim: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println(res.String())
+			fmt.Fprintf(os.Stderr, "(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
+		}
 	}
 
 	if err := writeTelemetry(reg, *telemOut, *promOut); err != nil {

@@ -1,0 +1,103 @@
+package addressing
+
+import (
+	"testing"
+)
+
+// FuzzAddressRoundTrip drives MakeAddress with arbitrary field values: any
+// in-range quadruple must round-trip exactly through the extractors with
+// the fixed heading octet, and any out-of-range field must be rejected —
+// the pack/unpack pair may never silently truncate a field into a valid-
+// looking address.
+func FuzzAddressRoundTrip(f *testing.F) {
+	f.Add(0, 0, 0, 0)
+	f.Add(MaxSwitchID, MaxPathID, MaxTopoID, MaxServerID)
+	f.Add(137, 3, 2, 41)
+	f.Add(-1, 0, 0, 0)
+	f.Add(0, MaxPathID+1, 0, 0)
+	f.Add(1 << 20, 1 << 20, 1 << 20, 1 << 20)
+	f.Fuzz(func(t *testing.T, switchID, pathID, topoID, serverID int) {
+		a, err := MakeAddress(switchID, pathID, topoID, serverID)
+		inRange := switchID >= 0 && switchID <= MaxSwitchID &&
+			pathID >= 0 && pathID <= MaxPathID &&
+			topoID >= 0 && topoID <= MaxTopoID &&
+			serverID >= 0 && serverID <= MaxServerID
+		if !inRange {
+			if err == nil {
+				t.Fatalf("MakeAddress(%d,%d,%d,%d) accepted out-of-range fields -> %v",
+					switchID, pathID, topoID, serverID, a)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("MakeAddress(%d,%d,%d,%d): %v", switchID, pathID, topoID, serverID, err)
+		}
+		if int(a>>24) != HeadingOctet {
+			t.Fatalf("address %v heading octet is %d", a, a>>24)
+		}
+		if a.SwitchID() != switchID || a.PathID() != pathID || a.TopoID() != topoID || a.ServerID() != serverID {
+			t.Fatalf("round trip (%d,%d,%d,%d) -> %v -> (%d,%d,%d,%d)",
+				switchID, pathID, topoID, serverID, a,
+				a.SwitchID(), a.PathID(), a.TopoID(), a.ServerID())
+		}
+		if p := a.Prefix24(); p.SwitchID() != switchID || p.PathID() != pathID {
+			t.Fatalf("Prefix24 of %v lost switch/path bits", a)
+		}
+	})
+}
+
+// FuzzSegmentStack drives PushRoute/Pop with arbitrary port lists: a
+// valid route must pop back in hop order down to an empty stack, and an
+// invalid one (too deep, negative port) must be rejected up front.
+func FuzzSegmentStack(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{255, 254, 0, 0, 7, 9})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}) // deeper than MaxLabelDepth
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Map fuzz bytes onto a port list; odd-indexed high bytes become
+		// negative ports so rejection paths are exercised too.
+		ports := make([]int, len(raw))
+		for i, b := range raw {
+			ports[i] = int(b)
+			if i%2 == 1 && b >= 128 {
+				ports[i] = -int(b)
+			}
+		}
+		ls, err := PushRoute(ports)
+		wantErr := len(ports) > MaxLabelDepth
+		for _, p := range ports {
+			if p < 0 {
+				wantErr = true
+			}
+		}
+		if wantErr {
+			if err == nil {
+				t.Fatalf("PushRoute(%v) accepted an invalid route", ports)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("PushRoute(%v): %v", ports, err)
+		}
+		if ls.Depth() != len(ports) {
+			t.Fatalf("stack depth %d for %d hops", ls.Depth(), len(ports))
+		}
+		for i := 0; i < len(ports); i++ {
+			var label Label
+			label, ls, err = ls.Pop()
+			if err != nil {
+				t.Fatalf("pop %d: %v", i, err)
+			}
+			if int(label) != ports[i] {
+				t.Fatalf("pop %d = %d, want %d", i, label, ports[i])
+			}
+		}
+		if ls.Depth() != 0 {
+			t.Fatalf("stack not empty after route: depth %d", ls.Depth())
+		}
+		if _, _, err := ls.Pop(); err == nil {
+			t.Fatal("pop on empty stack succeeded")
+		}
+	})
+}

@@ -10,12 +10,13 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
-	"sync"
 
 	"flattree/internal/core"
 	"flattree/internal/flowsim"
 	"flattree/internal/mcf"
+	"flattree/internal/parallel"
 	"flattree/internal/routing"
 	"flattree/internal/topo"
 	"flattree/internal/traffic"
@@ -83,31 +84,24 @@ func (c Config) paramsByName(name string) (topo.ClosParams, error) {
 // switch-level links. Results are cached per parameter set; sources are
 // stride-sampled on large networks to bound the BFS cost.
 func flatTreeOptions(p topo.ClosParams) core.Options {
-	key := fmt.Sprintf("%+v", p)
-	profileMu.Lock()
-	cached, ok := profileCache[key]
-	profileMu.Unlock()
-	if ok {
-		return cached
-	}
-	opt := core.Options{N: 1, M: 1, Pattern: core.Pattern1} // safe fallback
-	stride := p.TotalServers() / 128
-	if stride < 1 {
-		stride = 1
-	}
-	if best, _, err := core.ProfileMN(p, core.Pattern1, stride); err == nil {
-		opt = core.Options{N: best.N, M: best.M, Pattern: core.Pattern1}
-	}
-	profileMu.Lock()
-	profileCache[key] = opt
-	profileMu.Unlock()
+	opt, _ := parallel.Get(profileCache, fmt.Sprintf("%+v", p), func() (core.Options, error) {
+		opt := core.Options{N: 1, M: 1, Pattern: core.Pattern1} // safe fallback
+		stride := p.TotalServers() / 128
+		if stride < 1 {
+			stride = 1
+		}
+		if best, _, err := core.ProfileMN(p, core.Pattern1, stride); err == nil {
+			opt = core.Options{N: best.N, M: best.M, Pattern: core.Pattern1}
+		}
+		return opt, nil
+	})
 	return opt
 }
 
-var (
-	profileMu    sync.Mutex
-	profileCache = map[string]core.Options{}
-)
+// profileCache memoizes §3.4 (n, m) profiling per parameter set with
+// single-flight semantics, so concurrent experiments in a RunAll batch
+// never profile the same topology twice.
+var profileCache = parallel.NewCache("profile", 0)
 
 // flatTreeOptionsFor picks a feasible (n, m) for an explicit wiring
 // pattern, backing off m until core.New accepts the combination (pattern 2
@@ -218,31 +212,73 @@ func mptcpSpecs(t *topo.Topology, table *routing.Table, pairs []traffic.Pair, k 
 	return specs
 }
 
+// lpCache memoizes Garg-Könemann LP solutions across experiment cells:
+// Figure 7 re-solves exactly the LP instances Figure 6's first panel
+// already solved, and ablations re-visit Table 2 topologies. Keys cover
+// every input of a solve — topology fingerprint (which fixes the arc
+// numbering), objective, epsilon, and the commodity list.
+var lpCache = parallel.NewCache("lp", 128)
+
+// commsKey hashes a commodity list for the LP cache key.
+func commsKey(comms []mcf.Commodity) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	wi := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, c := range comms {
+		wi(uint64(int64(c.Src)))
+		wi(uint64(int64(c.Dst)))
+		wi(math.Float64bits(c.Demand))
+	}
+	return fmt.Sprintf("%d-%016x", len(comms), h.Sum64())
+}
+
+// lpSolve runs (or reuses) one LP solve. The cached result is shared
+// between cells, so callers receive a private copy of PerFlow.
+func (c Config) lpSolve(t *topo.Topology, pairs []traffic.Pair, objective string) ([]float64, error) {
+	comms := commoditiesFor(t, pairs)
+	key := fmt.Sprintf("%s|%s|eps=%g|%s", t.Fingerprint(), objective, c.epsilon(), commsKey(comms))
+	res, err := parallel.Get(lpCache, key, func() (*mcf.Result, error) {
+		var r mcf.Result
+		var err error
+		if objective == "concurrent" {
+			r, err = mcf.MaxConcurrent(t.G, comms, mcf.Options{Epsilon: c.epsilon()})
+		} else {
+			r, err = mcf.MaxTotal(t.G, comms, mcf.Options{Epsilon: c.epsilon()})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), res.PerFlow...), nil
+}
+
 // methodThroughputs returns the per-flow throughput of every pair under
 // the given method on a realized topology. table may be nil (one is built
 // on demand for path-based methods); when provided it must hold at least
-// the method's k paths per pair.
+// the method's k paths per pair. Route tables and LP solutions are served
+// from the cross-run caches when a structurally identical cell ran before.
 func (c Config) methodThroughputs(t *topo.Topology, table *routing.Table, pairs []traffic.Pair, m Method) ([]float64, error) {
 	needK := m.K()
 	if m == ECMPTCP {
 		needK = 4
 	}
 	if table == nil && needK > 0 {
-		table = routing.BuildKShortest(t, needK)
+		table = routing.BuildKShortestCached(t, needK)
 	}
 	switch m {
 	case LPMin:
-		res, err := mcf.MaxConcurrent(t.G, commoditiesFor(t, pairs), mcf.Options{Epsilon: c.epsilon()})
-		if err != nil {
-			return nil, err
-		}
-		return res.PerFlow, nil
+		return c.lpSolve(t, pairs, "concurrent")
 	case LPAvg:
-		res, err := mcf.MaxTotal(t.G, commoditiesFor(t, pairs), mcf.Options{Epsilon: c.epsilon()})
-		if err != nil {
-			return nil, err
-		}
-		return res.PerFlow, nil
+		return c.lpSolve(t, pairs, "total")
 	case MPTCP4, MPTCP8, MPTCP12:
 		specs := mptcpSpecs(t, table.WithK(m.K()), pairs, m.K())
 		return flowsim.StaticRates(routing.DirectedCaps(t.G), specs, topo.DefaultLinkCapacity)

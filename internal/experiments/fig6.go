@@ -1,12 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"flattree/internal/core"
 	"flattree/internal/metrics"
+	"flattree/internal/parallel"
 	"flattree/internal/routing"
 	"flattree/internal/topo"
 	"flattree/internal/traffic"
@@ -99,7 +99,7 @@ func (c Config) Fig6With(cases []Fig6Case, methods []Method, patterns []traffic.
 		perPod := cp.EdgesPerPod * cp.ServersPerEdge
 		var table *routing.Table
 		if k := maxK(methods); k > 0 {
-			table = routing.BuildKShortest(r.Topo, k)
+			table = routing.BuildKShortestCached(r.Topo, k)
 		}
 		res.Panels[pi].Case = cs
 		for _, pat := range patterns {
@@ -114,30 +114,21 @@ func (c Config) Fig6With(cases []Fig6Case, methods []Method, patterns []traffic.
 		}
 	}
 
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for ji := range jobs {
-		wg.Add(1)
-		go func(ji int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			j := jobs[ji]
-			flows, err := c.methodThroughputs(j.topo, j.table, j.pairs, j.method)
-			if err != nil {
-				errs[ji] = fmt.Errorf("fig6 %s/%v %v %v: %w",
-					cases[j.panel].Topology, cases[j.panel].Mode, j.pairs[0], j.method, err)
-				return
-			}
-			res.Panels[j.panel].Cells[j.cell].RawAvg = metrics.Mean(flows)
-		}(ji)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	// Cells are independent; run them on the bounded pool. Each result
+	// lands in its preassigned (panel, cell) slot, so the table is
+	// byte-identical for any worker count.
+	err := parallel.Default().ForEachErr(context.Background(), len(jobs), func(_ context.Context, ji int) error {
+		j := jobs[ji]
+		flows, err := c.methodThroughputs(j.topo, j.table, j.pairs, j.method)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("fig6 %s/%v %v %v: %w",
+				cases[j.panel].Topology, cases[j.panel].Mode, j.pairs[0], j.method, err)
 		}
+		res.Panels[j.panel].Cells[j.cell].RawAvg = metrics.Mean(flows)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Normalize each (panel, pattern) group against its LP minimum.

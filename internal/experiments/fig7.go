@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flattree/internal/core"
 	"flattree/internal/metrics"
+	"flattree/internal/parallel"
 	"flattree/internal/routing"
 	"flattree/internal/traffic"
 )
@@ -39,16 +41,31 @@ func (c Config) Fig7() (*Fig7Result, error) {
 	cp := nw.Clos()
 	perPod := cp.EdgesPerPod * cp.ServersPerEdge
 	res := &Fig7Result{Topology: name}
-	table := routing.BuildKShortest(r.Topo, 8)
+	table := routing.BuildKShortestCached(r.Topo, 8)
+	type job struct {
+		pattern traffic.SyntheticPattern
+		pairs   []traffic.Pair
+		method  Method
+	}
+	var jobs []job
 	for _, pat := range Fig6Patterns() {
 		pairs := traffic.Synthetic(pat, cp.TotalServers(), perPod, c.Seed)
 		for _, m := range []Method{MPTCP8, LPAvg, LPMin} {
-			flows, err := c.methodThroughputs(r.Topo, table, pairs, m)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %v %v: %w", pat, m, err)
-			}
-			res.Boxes = append(res.Boxes, Fig7Box{Pattern: pat, Method: m, Box: metrics.NewBoxPlot(flows)})
+			jobs = append(jobs, job{pattern: pat, pairs: pairs, method: m})
 		}
+	}
+	res.Boxes = make([]Fig7Box, len(jobs))
+	err = parallel.Default().ForEachErr(context.Background(), len(jobs), func(_ context.Context, ji int) error {
+		j := jobs[ji]
+		flows, err := c.methodThroughputs(r.Topo, table, j.pairs, j.method)
+		if err != nil {
+			return fmt.Errorf("fig7 %v %v: %w", j.pattern, j.method, err)
+		}
+		res.Boxes[ji] = Fig7Box{Pattern: j.pattern, Method: j.method, Box: metrics.NewBoxPlot(flows)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"flattree/internal/flowsim"
 	"flattree/internal/graph"
 	"flattree/internal/metrics"
+	"flattree/internal/parallel"
 	"flattree/internal/routing"
 	"flattree/internal/topo"
 	"flattree/internal/traffic"
@@ -140,56 +142,77 @@ func (c Config) Fig8With(workloads []string, networks []Fig8Network) (*Fig8Resul
 		return nil, err
 	}
 	res := &Fig8Result{Base: base}
-	for _, n := range networks {
+
+	// Realize each compared network serially (conversion itself is cheap
+	// and its telemetry spans stay ordered), then fan the (network,
+	// workload) simulations out on the bounded pool. Series keep the
+	// networks-outer / workloads-inner order via their job index.
+	type netState struct {
+		topo    *topo.Topology
+		table   *routing.Table
+		caps    []float64
+		servers []int
+	}
+	states := make([]netState, len(networks))
+	for ni, n := range networks {
 		t, err := c.fig8Topology(n, cp)
 		if err != nil {
 			return nil, err
 		}
-		table := routing.BuildKShortest(t, Fig8K)
-		caps := routing.DirectedCaps(t.G)
-		servers := t.Servers()
-		for _, w := range workloads {
-			flows, err := c.fig8Flows(w, cp)
-			if err != nil {
-				return nil, err
-			}
-			specs := make([]flowsim.ConnSpec, 0, len(flows))
-			for fi, f := range flows {
-				var paths []graph.Path
-				if n == FTClosECMP {
-					p, ok := table.ECMPServerPath(servers[f.Src], servers[f.Dst],
-						routing.FlowHash(f.Src, f.Dst, fi))
-					if !ok {
-						return nil, fmt.Errorf("fig8: no ECMP path for flow %d", fi)
-					}
-					paths = []graph.Path{p}
-				} else {
-					paths = table.ServerPaths(servers[f.Src], servers[f.Dst])
-					if len(paths) > Fig8K {
-						paths = paths[:Fig8K]
-					}
-				}
-				dp := make([][]int, len(paths))
-				for i, p := range paths {
-					dp[i] = routing.DirectedLinkIDs(t.G, p)
-				}
-				specs = append(specs, flowsim.ConnSpec{Paths: dp, Bits: f.Bits, Arrival: f.Arrival})
-			}
-			sim := flowsim.NewSim(caps, specs)
-			results, err := sim.Run()
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %v %s: %w", n, w, err)
-			}
-			fcts := make([]float64, 0, len(results))
-			for _, r := range results {
-				if !math.IsInf(r.Finish, 1) {
-					fcts = append(fcts, r.FCT()*1000) // ms
-				}
-			}
-			res.Series = append(res.Series, Fig8Series{
-				Workload: w, Network: n, FCTs: fcts, CDF: metrics.NewCDF(fcts),
-			})
+		states[ni] = netState{
+			topo:    t,
+			table:   routing.BuildKShortestCached(t, Fig8K),
+			caps:    routing.DirectedCaps(t.G),
+			servers: t.Servers(),
 		}
+	}
+
+	res.Series = make([]Fig8Series, len(networks)*len(workloads))
+	err = parallel.Default().ForEachErr(context.Background(), len(res.Series), func(_ context.Context, ji int) error {
+		ni, wi := ji/len(workloads), ji%len(workloads)
+		n, w, st := networks[ni], workloads[wi], states[ni]
+		flows, err := c.fig8Flows(w, cp)
+		if err != nil {
+			return err
+		}
+		specs := make([]flowsim.ConnSpec, 0, len(flows))
+		for fi, f := range flows {
+			var paths []graph.Path
+			if n == FTClosECMP {
+				p, ok := st.table.ECMPServerPath(st.servers[f.Src], st.servers[f.Dst],
+					routing.FlowHash(f.Src, f.Dst, fi))
+				if !ok {
+					return fmt.Errorf("fig8: no ECMP path for flow %d", fi)
+				}
+				paths = []graph.Path{p}
+			} else {
+				paths = st.table.ServerPaths(st.servers[f.Src], st.servers[f.Dst])
+				if len(paths) > Fig8K {
+					paths = paths[:Fig8K]
+				}
+			}
+			dp := make([][]int, len(paths))
+			for i, p := range paths {
+				dp[i] = routing.DirectedLinkIDs(st.topo.G, p)
+			}
+			specs = append(specs, flowsim.ConnSpec{Paths: dp, Bits: f.Bits, Arrival: f.Arrival})
+		}
+		sim := flowsim.NewSim(st.caps, specs)
+		results, err := sim.Run()
+		if err != nil {
+			return fmt.Errorf("fig8 %v %s: %w", n, w, err)
+		}
+		fcts := make([]float64, 0, len(results))
+		for _, r := range results {
+			if !math.IsInf(r.Finish, 1) {
+				fcts = append(fcts, r.FCT()*1000) // ms
+			}
+		}
+		res.Series[ji] = Fig8Series{Workload: w, Network: n, FCTs: fcts, CDF: metrics.NewCDF(fcts)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

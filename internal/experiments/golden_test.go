@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flattree/internal/core"
+	"flattree/internal/parallel"
+	"flattree/internal/traffic"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenCompare renders the experiment at one and at eight workers,
+// asserts the outputs are byte-identical (the engine's hard determinism
+// requirement), and diffs them against the committed golden file. Run
+// with -update to regenerate goldens after an intentional output change.
+func goldenCompare(t *testing.T, name string, render func() (string, error)) {
+	t.Helper()
+	byWorkers := map[int]string{}
+	for _, workers := range []int{1, 8} {
+		parallel.SetDefaultWorkers(workers)
+		got, err := render()
+		parallel.SetDefaultWorkers(0)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		byWorkers[workers] = got
+	}
+	if byWorkers[1] != byWorkers[8] {
+		t.Fatalf("output differs between -workers=1 and -workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			byWorkers[1], byWorkers[8])
+	}
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(byWorkers[1]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if byWorkers[1] != string(want) {
+		t.Fatalf("%s output drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+			name, path, byWorkers[1], want)
+	}
+}
+
+func TestGoldenTable2Mini(t *testing.T) {
+	cfg := Config{Seed: 1, Epsilon: 0.25}
+	goldenCompare(t, "table2_mini", func() (string, error) {
+		r, err := cfg.Table2()
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+}
+
+func TestGoldenFig6Small(t *testing.T) {
+	cfg := Config{Seed: 1, Epsilon: 0.25}
+	cases := []Fig6Case{{"mini-1", core.ModeGlobal}}
+	methods := []Method{LPMin, MPTCP4}
+	patterns := []traffic.SyntheticPattern{traffic.PatternPermutation, traffic.PatternHotSpot}
+	goldenCompare(t, "fig6_small", func() (string, error) {
+		r, err := cfg.Fig6With(cases, methods, patterns)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+}

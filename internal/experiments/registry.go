@@ -248,7 +248,7 @@ func Run(name string, cfg Config) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
-	sp := telemetry.StartSpan("experiment:"+name, telemetry.Str("id", name))
+	sp := telemetry.StartRootSpan("experiment:"+name, telemetry.Str("id", name))
 	defer sp.End()
 	table, err := f(cfg)
 	if err != nil {

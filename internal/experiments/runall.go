@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"time"
+
+	"flattree/internal/parallel"
+)
+
+// Outcome is the result of one experiment inside a RunAll batch.
+type Outcome struct {
+	Name    string
+	Result  Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunAll executes the named experiments concurrently on the default
+// bounded pool and returns one Outcome per name, in input order. A
+// failing experiment records its error in its own slot without stopping
+// the rest, so a batch report can show every failure at once. Because
+// outcomes are index-collected and each experiment is internally
+// deterministic, the returned slice is identical for any worker count.
+func RunAll(names []string, cfg Config) []Outcome {
+	out := make([]Outcome, len(names))
+	parallel.Default().ForEach(len(names), func(i int) {
+		start := time.Now()
+		res, err := Run(names[i], cfg)
+		out[i] = Outcome{Name: names[i], Result: res, Err: err, Elapsed: time.Since(start)}
+	})
+	return out
+}

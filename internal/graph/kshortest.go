@@ -2,9 +2,8 @@ package graph
 
 import (
 	"container/heap"
-	"runtime"
-	"sync"
 
+	"flattree/internal/parallel"
 	"flattree/internal/telemetry"
 )
 
@@ -107,41 +106,20 @@ func (h *pathHeap) Pop() interface{} {
 type PairKey struct{ Src, Dst int }
 
 // KShortestAllPairs computes k-shortest paths for every ordered pair in
-// pairs, in parallel across available CPUs. The result maps each pair to its
+// pairs on the shared bounded worker pool (at most parallel.DefaultWorkers
+// goroutines, whatever the pair count). The result maps each pair to its
 // path list. Pair computations are independent, mirroring the paper's note
-// that k-shortest-path routing parallelizes trivially (§4.3).
+// that k-shortest-path routing parallelizes trivially (§4.3); results are
+// collected by index, so the table is identical for any worker count.
 func (g *Graph) KShortestAllPairs(pairs []PairKey, k int) map[PairKey][]Path {
+	results, _ := parallel.Map(parallel.Default(), len(pairs), func(i int) ([]Path, error) {
+		return g.KShortestPaths(pairs[i].Src, pairs[i].Dst, k), nil
+	})
 	out := make(map[PairKey][]Path, len(pairs))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	work := make(chan PairKey)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for p := range work {
-				paths := g.KShortestPaths(p.Src, p.Dst, k)
-				mu.Lock()
-				out[p] = paths
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, p := range pairs {
-		work <- p
-	}
-	close(work)
-	wg.Wait()
 	var nPaths int64
-	for _, ps := range out {
-		nPaths += int64(len(ps))
+	for i, p := range pairs {
+		out[p] = results[i]
+		nPaths += int64(len(results[i]))
 	}
 	telemetry.C("graph_yen_pairs_total").Add(int64(len(pairs)))
 	telemetry.C("graph_yen_paths_total").Add(nPaths)

@@ -1,0 +1,93 @@
+package mcf
+
+import (
+	"testing"
+
+	"flattree/internal/graph"
+	"flattree/internal/parallel"
+)
+
+// mcfFabric builds a two-tier fabric with enough commodities per source
+// to push traceAll over parallelTraceThreshold.
+func mcfFabric() (*graph.Graph, []Commodity) {
+	const leaves, spines = 24, 4
+	g := graph.New(leaves + spines)
+	for l := 0; l < leaves; l++ {
+		for s := 0; s < spines; s++ {
+			g.AddLink(l, leaves+s, 10)
+		}
+	}
+	var comms []Commodity
+	for src := 0; src < 2; src++ {
+		for dst := 0; dst < leaves; dst++ {
+			if dst != src {
+				comms = append(comms, Commodity{Src: src, Dst: dst, Demand: 1})
+			}
+		}
+	}
+	return g, comms
+}
+
+// TestSolveDeterministicAcrossWorkerCounts pins the hard requirement that
+// the GK solves produce bit-identical results whatever the pool size: the
+// parallel pieces (connectivity prepass, per-source trace fan-out) are
+// read-only and index-collected.
+func TestSolveDeterministicAcrossWorkerCounts(t *testing.T) {
+	g, comms := mcfFabric()
+	run := func(workers int) (Result, Result) {
+		parallel.SetDefaultWorkers(workers)
+		defer parallel.SetDefaultWorkers(0)
+		conc, err := MaxConcurrent(g, comms, Options{Epsilon: 0.2})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		tot, err := MaxTotal(g, comms, Options{Epsilon: 0.2})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return conc, tot
+	}
+	c1, t1 := run(1)
+	c8, t8 := run(8)
+	if c1.Lambda != c8.Lambda || c1.Total != c8.Total {
+		t.Fatalf("MaxConcurrent differs across worker counts: %+v vs %+v", c1, c8)
+	}
+	if t1.Total != t8.Total {
+		t.Fatalf("MaxTotal differs across worker counts: %v vs %v", t1.Total, t8.Total)
+	}
+	for j := range c1.PerFlow {
+		if c1.PerFlow[j] != c8.PerFlow[j] {
+			t.Fatalf("MaxConcurrent PerFlow[%d] differs: %v vs %v", j, c1.PerFlow[j], c8.PerFlow[j])
+		}
+		if t1.PerFlow[j] != t8.PerFlow[j] {
+			t.Fatalf("MaxTotal PerFlow[%d] differs: %v vs %v", j, t1.PerFlow[j], t8.PerFlow[j])
+		}
+	}
+}
+
+// TestDisconnectedReportsLowestCommodity pins the prepass error contract:
+// with several disconnected commodities, the reported one is always the
+// lowest-index, matching what a serial scan would say.
+func TestDisconnectedReportsLowestCommodity(t *testing.T) {
+	g := graph.New(6)
+	g.AddLink(0, 1, 1)
+	g.AddLink(2, 3, 1)
+	// 4 and 5 are isolated.
+	comms := []Commodity{
+		{Src: 0, Dst: 1, Demand: 1},
+		{Src: 0, Dst: 4, Demand: 1}, // first disconnected
+		{Src: 2, Dst: 5, Demand: 1}, // also disconnected
+	}
+	for _, workers := range []int{1, 8} {
+		parallel.SetDefaultWorkers(workers)
+		_, err := MaxConcurrent(g, comms, Options{})
+		parallel.SetDefaultWorkers(0)
+		if err == nil {
+			t.Fatalf("workers=%d: disconnected commodities accepted", workers)
+		}
+		const want = "mcf: commodity 1 (0->4) disconnected"
+		if err.Error() != want {
+			t.Fatalf("workers=%d: err = %q, want %q", workers, err, want)
+		}
+	}
+}

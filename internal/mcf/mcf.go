@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"flattree/internal/graph"
+	"flattree/internal/parallel"
 	"flattree/internal/telemetry"
 )
 
@@ -304,9 +305,81 @@ func (s *solver) rescale() Result {
 	return res
 }
 
+// checkConnectivity verifies every commodity's destination is reachable
+// from its source before the solve starts. The per-source searches are
+// independent and run on the shared bounded pool; the reported error is
+// always the lowest-index disconnected commodity, so the error is
+// deterministic for any worker count.
+func (s *solver) checkConnectivity(comms []Commodity, srcs []int, bySrc map[int][]int) error {
+	reach, _ := parallel.Map(parallel.Default(), len(srcs), func(i int) ([]bool, error) {
+		// Lengths are uniformly positive, so plain BFS over the arc
+		// adjacency decides reachability; each task owns its visited set.
+		visited := make([]bool, s.nodes)
+		visited[srcs[i]] = true
+		queue := []int{srcs[i]}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range s.outTo[u] {
+				if !visited[v] {
+					visited[v] = true
+					queue = append(queue, int(v))
+				}
+			}
+		}
+		return visited, nil
+	})
+	telemetry.C("mcf_connectivity_checks_total").Add(int64(len(srcs)))
+	for i, src := range srcs {
+		for _, j := range bySrc[src] {
+			if !reach[i][comms[j].Dst] {
+				return fmt.Errorf("mcf: commodity %d (%d->%d) disconnected", j, comms[j].Src, comms[j].Dst)
+			}
+		}
+	}
+	return nil
+}
+
+// parallelTraceThreshold is the commodity count per source above which the
+// post-Dijkstra path traces fan out on the pool. Tracing reads only the
+// frozen shortest-path tree (prevArc/tails), so parallel traces are
+// byte-identical to serial ones; below the threshold, goroutine handoff
+// costs more than the traces themselves.
+const parallelTraceThreshold = 16
+
+// traceAll reconstructs the arc path for every commodity of one source
+// from the current shortest-path tree, fanning out on the pool when the
+// commodity count justifies it. Unreachable destinations (impossible
+// after the connectivity prepass, but kept defensive) yield nil; the
+// caller's reachability check reports them.
+func (s *solver) traceAll(src int, js []int) [][]int32 {
+	trace := func(j int) []int32 {
+		if math.IsInf(s.dist[s.comms[j].Dst], 1) {
+			return nil
+		}
+		return s.traceArcs(src, s.comms[j].Dst)
+	}
+	if len(js) < parallelTraceThreshold {
+		out := make([][]int32, len(js))
+		for i, j := range js {
+			out[i] = trace(j)
+		}
+		return out
+	}
+	out, _ := parallel.Map(parallel.Default(), len(js), func(i int) ([]int32, error) {
+		return trace(js[i]), nil
+	})
+	return out
+}
+
 // MaxConcurrent approximates the maximum concurrent flow ("LP minimum"):
 // the largest λ such that every commodity can ship λ·demand concurrently.
 // Every commodity's reported throughput is at least Lambda·Demand.
+//
+// The solve is deterministic: phases, sources, and commodities are
+// processed in fixed order, and the only parallel pieces (the
+// connectivity prepass and per-source path traces) are read-only fan-outs
+// collected by index, so the result is bit-identical for any pool size.
 func MaxConcurrent(g *graph.Graph, comms []Commodity, opt Options) (Result, error) {
 	opt.setDefaults()
 	if err := checkCommodities(g, comms); err != nil {
@@ -329,17 +402,22 @@ func MaxConcurrent(g *graph.Graph, comms []Commodity, opt Options) (Result, erro
 		}
 		bySrc[c.Src] = append(bySrc[c.Src], j)
 	}
+	if err := s.checkConnectivity(comms, srcs, bySrc); err != nil {
+		return Result{}, err
+	}
 	phases := 0
 	for s.dual() < 1 {
 		for _, src := range srcs {
 			s.sssp(src)
 			dijkstras++
-			for _, j := range bySrc[src] {
+			js := bySrc[src]
+			arcsFor := s.traceAll(src, js)
+			for ji, j := range js {
 				c := comms[j]
 				if math.IsInf(s.dist[c.Dst], 1) {
 					return Result{}, fmt.Errorf("mcf: commodity %d (%d->%d) disconnected", j, c.Src, c.Dst)
 				}
-				arcs := s.traceArcs(src, c.Dst)
+				arcs := arcsFor[ji]
 				remaining := c.Demand
 				for remaining > 1e-15 {
 					u := remaining

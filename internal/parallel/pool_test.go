@@ -1,0 +1,196 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 33} {
+		p := New(Config{Workers: workers})
+		n := 500
+		got, err := Map(p, n, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	p := New(Config{Workers: 7})
+	n := 1000
+	counts := make([]atomic.Int64, n)
+	p.ForEach(n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestLowestIndexErrorDeterminism pins the determinism contract: whichever
+// worker count and schedule, a batch with several failing tasks always
+// reports the lowest failing index, exactly as a serial loop would.
+func TestLowestIndexErrorDeterminism(t *testing.T) {
+	failAt := map[int]bool{13: true, 200: true, 399: true}
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := New(Config{Workers: workers})
+		for trial := 0; trial < 10; trial++ {
+			err := p.ForEachErr(context.Background(), 400, func(_ context.Context, i int) error {
+				if failAt[i] {
+					return fmt.Errorf("task %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "task 13 failed" {
+				t.Fatalf("workers=%d trial %d: err = %v, want task 13", workers, trial, err)
+			}
+		}
+	}
+}
+
+func TestTasksBelowFailingIndexAlwaysRun(t *testing.T) {
+	p := New(Config{Workers: 8})
+	n := 300
+	fail := 250
+	counts := make([]atomic.Int64, n)
+	err := p.ForEachErr(context.Background(), n, func(_ context.Context, i int) error {
+		counts[i].Add(1)
+		if i == fail {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	for i := 0; i < fail; i++ {
+		if counts[i].Load() != 1 {
+			t.Fatalf("task %d below the failing index did not run", i)
+		}
+	}
+}
+
+func TestPanicCapture(t *testing.T) {
+	p := New(Config{Workers: 4})
+	defer func() {
+		r := recover()
+		tp, ok := r.(TaskPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want TaskPanic", r, r)
+		}
+		if tp.Index != 7 || tp.Value != "kaboom" {
+			t.Fatalf("TaskPanic = {%d %v}, want {7 kaboom}", tp.Index, tp.Value)
+		}
+		if len(tp.Stack) == 0 {
+			t.Fatal("TaskPanic has no stack")
+		}
+	}()
+	p.ForEach(100, func(i int) {
+		if i == 7 || i == 55 {
+			panic("kaboom")
+		}
+	})
+	t.Fatal("ForEach did not re-panic")
+}
+
+func TestContextCancellation(t *testing.T) {
+	p := New(Config{Workers: 3})
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := p.ForEachErr(ctx, 10000, func(ctx context.Context, i int) error {
+		if ran.Add(1) == 20 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10000 {
+		t.Fatalf("cancellation did not stop the batch (%d tasks ran)", n)
+	}
+}
+
+// TestGoroutineBound asserts the pool never runs more than Workers
+// goroutines per batch: peak goroutine count during a large batch stays
+// within pool size + slack of the pre-batch baseline.
+func TestGoroutineBound(t *testing.T) {
+	const workers = 4
+	p := New(Config{Workers: workers})
+	base := runtime.NumGoroutine()
+
+	done := make(chan struct{})
+	var peak atomic.Int64
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+				peak.Store(g)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	p.ForEach(5000, func(i int) {
+		s := 0
+		for j := 0; j < 2000; j++ {
+			s += j
+		}
+		_ = s
+	})
+	done <- struct{}{}
+	<-done
+
+	// Slack: the sampler itself plus test-harness goroutines.
+	if got, limit := peak.Load(), int64(base+workers+4); got > limit {
+		t.Fatalf("peak goroutines %d exceeds baseline %d + workers %d + slack", got, base, workers)
+	}
+}
+
+func TestDefaultWorkersOverride(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers() = %d after SetDefaultWorkers(3)", got)
+	}
+	if got := Default().Workers(); got != 3 {
+		t.Fatalf("Default().Workers() = %d, want 3", got)
+	}
+	SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers() = %d after reset", got)
+	}
+}
+
+func TestEmptyAndSingleBatches(t *testing.T) {
+	p := New(Config{Workers: 4})
+	if err := p.ForEachErr(context.Background(), 0, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	got, err := Map(p, 1, func(i int) (string, error) { return "x", nil })
+	if err != nil || len(got) != 1 || got[0] != "x" {
+		t.Fatalf("single batch: %v %v", got, err)
+	}
+}

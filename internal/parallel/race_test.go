@@ -1,0 +1,85 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The race-hammer tests exist to run under -race in CI: many goroutines
+// submitting batches, cancelling contexts, and hitting one cache with
+// overlapping keys concurrently.
+
+func TestPoolRaceHammer(t *testing.T) {
+	p := New(Config{Workers: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				var hits atomic.Int64
+				err := p.ForEachErr(ctx, 200, func(ctx context.Context, i int) error {
+					if hits.Add(1) == int64(50+g) {
+						cancel() // exercise cancel racing live workers
+					}
+					return nil
+				})
+				cancel()
+				if err != nil && err != context.Canceled {
+					t.Errorf("goroutine %d round %d: %v", g, round, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCacheRaceHammer(t *testing.T) {
+	c := NewCache("hammer", 8) // small capacity so eviction races lookups
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				key := fmt.Sprintf("k%d", i%24)
+				v, err := Get(c, key, func() (*blob, error) {
+					return &blob{payload: []int{i}}, nil
+				})
+				if err != nil || v == nil {
+					t.Errorf("goroutine %d: %v %v", g, v, err)
+					return
+				}
+				if i%37 == 0 {
+					c.Peek(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("cache exceeded capacity: %d entries", c.Len())
+	}
+}
+
+// TestNestedPools pins that a task running on one pool may itself fan out
+// on another pool without deadlock (pools spawn their own workers; they
+// do not share a token pool).
+func TestNestedPools(t *testing.T) {
+	outer := New(Config{Workers: 3})
+	inner := New(Config{Workers: 2})
+	total := atomic.Int64{}
+	outer.ForEach(6, func(i int) {
+		inner.ForEach(5, func(j int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 30 {
+		t.Fatalf("nested batches ran %d tasks, want 30", got)
+	}
+}

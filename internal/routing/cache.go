@@ -1,0 +1,68 @@
+package routing
+
+import (
+	"fmt"
+	"sync"
+
+	"flattree/internal/parallel"
+	"flattree/internal/topo"
+)
+
+// Cross-run route-table cache: experiment cells across Table 2, Figures
+// 6-8, and the ablations repeatedly realize structurally identical
+// topologies and rebuild the same Yen tables. Tables are memoized by
+// (topology fingerprint, k); a request for a smaller k than an already
+// cached table is served as a WithK view of the larger table (Yen is
+// incremental, so the first k paths of a k'-table, k' > k, equal a
+// k-table — see WithK). Hits/misses/evictions flow into telemetry under
+// cache="route".
+
+var (
+	tableCache = parallel.NewCache("route", 64)
+
+	// tableMaxKMu guards tableMaxK: fingerprint -> largest k built so far,
+	// used to find a superset table to derive smaller-k views from.
+	tableMaxKMu sync.Mutex
+	tableMaxK   = map[string]int{}
+)
+
+func tableKey(fp string, k int) string { return fmt.Sprintf("%s|k=%d", fp, k) }
+
+// BuildKShortestCached returns a route table for the realized topology,
+// reusing a previously built table for any structurally identical
+// topology. Identical (fingerprint, k) requests return the identical
+// *Table. The cached table holds a reference to the topology it was first
+// built against; topologies must not be mutated after realization (none
+// of the experiment paths do — failure studies rebuild instead).
+func BuildKShortestCached(t *topo.Topology, k int) *Table {
+	if k < 1 {
+		panic(fmt.Sprintf("routing: k = %d", k))
+	}
+	fp := t.Fingerprint()
+	tb, _ := parallel.Get(tableCache, tableKey(fp, k), func() (*Table, error) {
+		tableMaxKMu.Lock()
+		maxK := tableMaxK[fp]
+		tableMaxKMu.Unlock()
+		if maxK > k {
+			if v, ok := tableCache.Peek(tableKey(fp, maxK)); ok {
+				return v.(*Table).WithK(k), nil
+			}
+		}
+		tb := BuildKShortest(t, k)
+		tableMaxKMu.Lock()
+		if k > tableMaxK[fp] {
+			tableMaxK[fp] = k
+		}
+		tableMaxKMu.Unlock()
+		return tb, nil
+	})
+	return tb
+}
+
+// PurgeCache drops every cached route table (test hook).
+func PurgeCache() {
+	tableCache.Purge()
+	tableMaxKMu.Lock()
+	tableMaxK = map[string]int{}
+	tableMaxKMu.Unlock()
+}

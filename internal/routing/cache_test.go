@@ -1,0 +1,81 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"flattree/internal/core"
+	"flattree/internal/topo"
+)
+
+func cacheTestTopo(t *testing.T) *topo.Topology {
+	t.Helper()
+	p := topo.ClosParams{
+		Name: "cache-mini", Pods: 2, EdgesPerPod: 2, AggsPerPod: 2,
+		ServersPerEdge: 2, EdgeUplinks: 2, AggUplinks: 2, Cores: 4,
+	}
+	nw, err := core.New(p, core.Options{N: 1, M: 1, Pattern: core.Pattern1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetMode(core.ModeGlobal)
+	return nw.Realize().Topo
+}
+
+func TestBuildKShortestCachedPointerEqual(t *testing.T) {
+	PurgeCache()
+	defer PurgeCache()
+	tp := cacheTestTopo(t)
+	a := BuildKShortestCached(tp, 4)
+	b := BuildKShortestCached(tp, 4)
+	if a != b {
+		t.Fatal("identical (topology, k) built two distinct tables")
+	}
+}
+
+func TestBuildKShortestCachedSharesAcrossRealizations(t *testing.T) {
+	PurgeCache()
+	defer PurgeCache()
+	a := BuildKShortestCached(cacheTestTopo(t), 4)
+	b := BuildKShortestCached(cacheTestTopo(t), 4)
+	if a != b {
+		t.Fatal("structurally identical realizations did not share a table")
+	}
+}
+
+// TestBuildKShortestCachedDerivesSmallerK pins the superset rule: after a
+// k=8 table is cached, a k=4 request is served from it and equals a table
+// built directly at k=4.
+func TestBuildKShortestCachedDerivesSmallerK(t *testing.T) {
+	PurgeCache()
+	defer PurgeCache()
+	tp := cacheTestTopo(t)
+	big := BuildKShortestCached(tp, 8)
+	small := BuildKShortestCached(tp, 4)
+	if small.K != 4 {
+		t.Fatalf("derived table has K=%d", small.K)
+	}
+	direct := BuildKShortest(tp, 4)
+	if len(small.Paths) != len(direct.Paths) {
+		t.Fatalf("derived table has %d pairs, direct %d", len(small.Paths), len(direct.Paths))
+	}
+	for pk, want := range direct.Paths {
+		got := small.Paths[pk]
+		if len(got) != len(want) {
+			t.Fatalf("pair %v: %d paths derived, %d direct", pk, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i].Nodes, want[i].Nodes) {
+				t.Fatalf("pair %v path %d: derived %v, direct %v", pk, i, got[i].Nodes, want[i].Nodes)
+			}
+		}
+	}
+	// The derived view must also be memoized: a second k=4 request returns
+	// the same pointer, and the big table is untouched.
+	if again := BuildKShortestCached(tp, 4); again != small {
+		t.Fatal("derived view was not memoized")
+	}
+	if big.K != 8 {
+		t.Fatal("superset table was modified")
+	}
+}

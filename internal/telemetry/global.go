@@ -34,3 +34,7 @@ func H(name string, labels ...string) *Histogram { return Default().Histogram(na
 
 // StartSpan opens a span on the global registry (nil when disabled).
 func StartSpan(name string, attrs ...Attr) *Span { return Default().StartSpan(name, attrs...) }
+
+// StartRootSpan opens an always-root span on the global registry (nil
+// when disabled).
+func StartRootSpan(name string, attrs ...Attr) *Span { return Default().StartRootSpan(name, attrs...) }

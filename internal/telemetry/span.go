@@ -58,6 +58,24 @@ func (r *Registry) StartSpan(name string, attrs ...Attr) *Span {
 	return sp
 }
 
+// StartRootSpan opens a span that is always a root, regardless of the
+// open-span stack — for top-level operations that may run concurrently
+// (parallel experiment batches) and whose spans must not nest under one
+// another. The span still joins the stack so spans started below it
+// attach as children; with several roots open at once that attribution
+// is best-effort, like all cross-goroutine parenting here.
+func (r *Registry) StartRootSpan(name string, attrs ...Attr) *Span {
+	if r == nil {
+		return nil
+	}
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sp := &Span{reg: r, name: name, start: now, offset: now.Sub(r.start).Seconds(), attrs: attrs}
+	r.stack = append(r.stack, sp)
+	return sp
+}
+
 // SetAttr appends attributes to the span.
 func (s *Span) SetAttr(attrs ...Attr) {
 	if s == nil {

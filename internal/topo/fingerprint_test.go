@@ -1,0 +1,51 @@
+package topo
+
+import "testing"
+
+func fpClos(t *testing.T, name string) *Topology {
+	t.Helper()
+	tp, err := BuildClos(ClosParams{
+		Name: name, Pods: 2, EdgesPerPod: 2, AggsPerPod: 2,
+		ServersPerEdge: 2, EdgeUplinks: 2, AggUplinks: 2, Cores: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestFingerprintStableAcrossRebuilds(t *testing.T) {
+	a := fpClos(t, "fp-a")
+	b := fpClos(t, "fp-a")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical builds produced different fingerprints")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+}
+
+func TestFingerprintIgnoresName(t *testing.T) {
+	a := fpClos(t, "one")
+	b := fpClos(t, "two")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("name changed the fingerprint")
+	}
+}
+
+func TestFingerprintSeesStructure(t *testing.T) {
+	a := fpClos(t, "fp")
+	b := fpClos(t, "fp")
+	sw := b.Switches()
+	b.G.AddLink(sw[0], sw[len(sw)-1], DefaultLinkCapacity)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("extra link did not change the fingerprint")
+	}
+
+	c := fpClos(t, "fp")
+	links := c.G.Links()
+	links[0].Capacity = 40
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("capacity change did not change the fingerprint")
+	}
+}
