@@ -45,7 +45,7 @@ func main() {
 		"table1", "table2", "fig5", "fig6", "fig7", "fig8",
 		"fig10", "table3", "fig11", "rules", "props", "cost", "hybrid-placement",
 		"ablation-wiring", "ablation-profile", "ablation-sidewiring", "ablation-k",
-		"ablation-failures", "ablation-packet", "ablation-packet-fct", "ablation-gradual",
+		"ablation-failures", "churn", "ablation-packet", "ablation-packet-fct", "ablation-gradual",
 	}
 	failures := 0
 	grand := time.Now()

@@ -5,6 +5,7 @@
 //
 //	flatsim -exp table1                # reduced scale (default)
 //	flatsim -exp fig8 -full            # paper scale (slow)
+//	flatsim -exp churn                 # failure-over-time FCT study
 //	flatsim -exp all                   # every experiment in sequence
 //	flatsim -list                      # show experiment IDs
 //	flatsim -exp table3 -telemetry -   # JSON telemetry snapshot to stdout

@@ -1,0 +1,107 @@
+// Package churn is a time-driven fault-injection engine: it schedules
+// link failure and recovery events against a running flowsim simulation.
+//
+// The paper's footnote 2 defers fault-tolerance evaluation of flat-tree
+// to future work; the static failure-fraction ablation
+// (experiments.AblationFailures) measures surviving throughput but never
+// exercises failures arriving while traffic is in flight. Churn closes
+// that gap with the regime reconfigurable-topology work actually cares
+// about: a seeded trace of failures-over-time, a control plane that
+// reacts after a modeled detection + rule-update latency (reusing
+// control.DelayModel's §4.3 timing — flows keep their stale paths until
+// the new rules land, then move onto surviving k-shortest paths), and
+// graceful degradation in the simulator (disconnected flows stall and
+// retry with bounded backoff instead of aborting the run).
+package churn
+
+import (
+	"math/rand"
+	"sort"
+
+	"flattree/internal/topo"
+)
+
+// Event is one scheduled fault or repair of the link between nodes A and
+// B. With parallel links, each fail event masks one more link of the
+// adjacency (lowest link ID first, matching control's masking rule) and
+// each repair restores the most recently masked one.
+type Event struct {
+	// Time is the event time in simulation seconds.
+	Time float64
+	// A and B are the link's endpoint node IDs on the realized topology.
+	A, B int
+	// Repair marks recovery of a previously failed link.
+	Repair bool
+}
+
+// Trace is a time-ordered schedule of failure and recovery events.
+type Trace []Event
+
+// Sort orders the trace by time; ties keep (A, B, fail-before-repair)
+// order so traces are deterministic regardless of construction order.
+func (tr Trace) Sort() {
+	sort.SliceStable(tr, func(i, j int) bool {
+		a, b := tr[i], tr[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return !a.Repair && b.Repair
+	})
+}
+
+// GenerateTrace draws a seeded failure schedule on the realized topology:
+// n distinct switch-switch adjacencies fail at uniform times in
+// [0, window) and, when mttr > 0, recover mttr seconds later. Server
+// uplinks never fail (a dead NIC removes the server, which is not a
+// network property). Partitioning failures are allowed — graceful
+// degradation is exactly what the engine evaluates. The same (topology,
+// n, window, mttr, seed) always yields the same trace.
+func GenerateTrace(t *topo.Topology, n int, window, mttr float64, seed int64) Trace {
+	seen := make(map[[2]int]bool)
+	var pairs [][2]int
+	for _, l := range t.G.Links() {
+		if t.Nodes[l.A].Kind == topo.Server || t.Nodes[l.B].Kind == topo.Server {
+			continue
+		}
+		k := pairKey(l.A, l.B)
+		if !seen[k] {
+			seen[k] = true
+			pairs = append(pairs, k)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	if n > len(pairs) {
+		n = len(pairs)
+	}
+	var tr Trace
+	for i := 0; i < n; i++ {
+		at := rng.Float64() * window
+		tr = append(tr, Event{Time: at, A: pairs[i][0], B: pairs[i][1]})
+		if mttr > 0 {
+			tr = append(tr, Event{Time: at + mttr, A: pairs[i][0], B: pairs[i][1], Repair: true})
+		}
+	}
+	tr.Sort()
+	return tr
+}
+
+// pairKey normalizes an adjacency to ascending endpoint order.
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}

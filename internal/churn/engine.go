@@ -1,0 +1,299 @@
+package churn
+
+import (
+	"fmt"
+	"sort"
+
+	"flattree/internal/control"
+	"flattree/internal/flowsim"
+	"flattree/internal/graph"
+	"flattree/internal/routing"
+	"flattree/internal/telemetry"
+	"flattree/internal/topo"
+)
+
+// Conn is one connection the engine routes and tracks across failures.
+type Conn struct {
+	// Src and Dst are server node IDs on the engine's topology.
+	Src, Dst int
+	// Bits, Arrival, Weight follow flowsim.ConnSpec.
+	Bits, Arrival, Weight float64
+}
+
+// Engine compiles a churn trace against a healthy realized topology into
+// the simulator's topology events: data-plane capacity drops at the
+// failure instant, and a control-plane reroute after the modeled reaction
+// delay.
+type Engine struct {
+	// Topo is the healthy realized topology; the simulation runs on its
+	// directed link slots (routing.DirectedCaps order).
+	Topo *topo.Topology
+	// K is the number of surviving k-shortest paths installed per
+	// connection at each reroute; zero defaults to 8.
+	K int
+	// Detection is the failure-detection latency before the controller
+	// starts updating rules, in seconds.
+	Detection float64
+	// Delay prices the rule updates with §4.3's conversion constants: the
+	// reaction to an event costs Detection plus the rule-delete and
+	// rule-add time of the table diff (driven by the busiest switch when
+	// Delay.Parallel, by the total otherwise). No OCS term applies —
+	// failure handling never reconfigures converters.
+	Delay control.DelayModel
+}
+
+// Plan is a compiled churn schedule.
+type Plan struct {
+	// Specs are the connections routed on the healthy topology, ready for
+	// flowsim.NewSim with routing.DirectedCaps of the engine's topology.
+	Specs []flowsim.ConnSpec
+	// Events are the capacity and reroute events for flowsim.Schedule.
+	Events []flowsim.TopoEvent
+	// Reactions records the modeled control-plane latency of each trace
+	// event, in trace order.
+	Reactions []float64
+}
+
+func (e *Engine) k() int {
+	if e.K < 1 {
+		return 8
+	}
+	return e.K
+}
+
+// Compile routes the connections on the healthy topology and turns the
+// trace into simulator events. Each trace event yields (1) an immediate
+// capacity event masking or restoring the physical link, and (2) when any
+// connection is affected, a reroute event at Time + reaction delay moving
+// every connection whose installed paths are broken — stale paths are
+// kept until then, modeling §4.3's controller. A connection whose
+// endpoints are disconnected by the surviving fabric receives an empty
+// path set and stalls in the simulator until a repair restores
+// reachability. Reroutes reflect the failure state at their triggering
+// event; a reaction landing after a later trace event is a deliberate
+// approximation of a controller acting on slightly stale state.
+func (e *Engine) Compile(trace Trace, conns []Conn) (*Plan, error) {
+	t := e.Topo
+	k := e.k()
+	for i, c := range conns {
+		for _, nd := range []int{c.Src, c.Dst} {
+			if nd < 0 || nd >= len(t.Nodes) || t.Nodes[nd].Kind != topo.Server {
+				return nil, fmt.Errorf("churn: connection %d endpoint %d is not a server", i, nd)
+			}
+		}
+	}
+	// Parallel-link inventory: original link IDs per switch adjacency,
+	// ascending — the masking rule fails the lowest surviving ID first,
+	// matching control.pruneFailures.
+	linksByPair := make(map[[2]int][]int)
+	for id, l := range t.G.Links() {
+		if t.Nodes[l.A].Kind == topo.Server || t.Nodes[l.B].Kind == topo.Server {
+			continue
+		}
+		key := pairKey(l.A, l.B)
+		linksByPair[key] = append(linksByPair[key], id)
+	}
+
+	table := routing.BuildKShortestCached(t, k)
+	specs := make([]flowsim.ConnSpec, len(conns))
+	installed := make([][][]int, len(conns))
+	for i, c := range conns {
+		dp := directedServerPaths(table, t.G, nil, c.Src, c.Dst, k)
+		if len(dp) == 0 {
+			return nil, fmt.Errorf("churn: no path between servers %d and %d on the healthy topology", c.Src, c.Dst)
+		}
+		specs[i] = flowsim.ConnSpec{Paths: dp, Bits: c.Bits, Arrival: c.Arrival, Weight: c.Weight}
+		installed[i] = dp
+	}
+
+	failed := make(map[[2]int]int)
+	deadSlots := make(map[int]bool)
+	prevRules := table.PrefixRulesPerSwitch()
+	var events []flowsim.TopoEvent
+	reactions := make([]float64, 0, len(trace))
+	for _, ev := range trace {
+		key := pairKey(ev.A, ev.B)
+		ids := linksByPair[key]
+		var link int
+		if ev.Repair {
+			if failed[key] == 0 {
+				return nil, fmt.Errorf("churn: repair of healthy link %d-%d at t=%v", ev.A, ev.B, ev.Time)
+			}
+			failed[key]--
+			if failed[key] == 0 {
+				delete(failed, key)
+			}
+			link = ids[failed[key]] // the most recently masked parallel link
+		} else {
+			if failed[key] >= len(ids) {
+				return nil, fmt.Errorf("churn: no surviving link between %d and %d at t=%v", ev.A, ev.B, ev.Time)
+			}
+			link = ids[failed[key]]
+			failed[key]++
+		}
+		cap := 0.0
+		if ev.Repair {
+			cap = t.G.Link(link).Capacity
+			delete(deadSlots, 2*link)
+			delete(deadSlots, 2*link+1)
+		} else {
+			deadSlots[2*link] = true
+			deadSlots[2*link+1] = true
+		}
+		events = append(events, flowsim.TopoEvent{
+			Time:    ev.Time,
+			SetCaps: map[int]float64{2 * link: cap, 2*link + 1: cap},
+		})
+
+		// Control-plane reaction: routes on the surviving fabric, priced
+		// by the rule diff against the previously installed table.
+		pruned, linkMap := pruneWithMap(t, failed)
+		newTable := routing.BuildKShortestCached(pruned, k)
+		newRules := newTable.PrefixRulesPerSwitch()
+		delay := e.Detection + ruleTime(prevRules, newRules, e.Delay)
+		prevRules = newRules
+		reactions = append(reactions, delay)
+
+		reroute := make(map[int][][]int)
+		for i, c := range conns {
+			cur := installed[i]
+			if len(cur) > 0 && !crossesDead(cur, deadSlots) {
+				continue // stale but intact: flows keep working paths
+			}
+			np := directedServerPaths(newTable, pruned.G, linkMap, c.Src, c.Dst, k)
+			if pathsEqual(cur, np) {
+				continue
+			}
+			installed[i] = np
+			reroute[i] = np
+		}
+		if len(reroute) > 0 {
+			events = append(events, flowsim.TopoEvent{Time: ev.Time + delay, Reroute: reroute})
+		}
+		telemetry.C("churn_trace_events_total").Inc()
+		telemetry.H("churn_reaction_seconds").Observe(delay)
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].Time < events[b].Time })
+	return &Plan{Specs: specs, Events: events, Reactions: reactions}, nil
+}
+
+// pruneWithMap rebuilds the topology without the masked links, returning
+// it with a pruned-link-ID → original-link-ID map so paths computed on
+// the surviving fabric translate back to the simulator's directed slots.
+// Node IDs are preserved; unlike control's prune, a partitioned survivor
+// is allowed — disconnected flows are the engine's subject, not an error.
+func pruneWithMap(t *topo.Topology, failed map[[2]int]int) (*topo.Topology, []int) {
+	remaining := make(map[[2]int]int, len(failed))
+	for k, n := range failed {
+		remaining[k] = n
+	}
+	out := topo.NewTopology(t.Name + "-churn")
+	out.SetNumPods(t.NumPods())
+	for _, n := range t.Nodes {
+		id := out.AddNode(n.Kind, n.Pod)
+		out.Nodes[id].LocalIndex = n.LocalIndex
+	}
+	var linkMap []int
+	for id, l := range t.G.Links() {
+		if t.Nodes[l.A].Kind == topo.Server || t.Nodes[l.B].Kind == topo.Server {
+			continue // re-added below via AttachServer
+		}
+		key := pairKey(l.A, l.B)
+		if remaining[key] > 0 {
+			remaining[key]--
+			continue // masked
+		}
+		out.AddLink(l.A, l.B)
+		linkMap = append(linkMap, id)
+	}
+	for _, s := range t.Servers() {
+		out.AttachServer(s, t.AttachedSwitch(s))
+		linkMap = append(linkMap, t.G.Incident(s)[0])
+	}
+	return out, linkMap
+}
+
+// directedServerPaths returns up to k server-to-server paths as directed
+// slot lists in the ORIGINAL graph's numbering. linkMap translates the
+// table's graph to the original; nil means the table is already on it.
+func directedServerPaths(table *routing.Table, g *graph.Graph, linkMap []int, src, dst, k int) [][]int {
+	paths := table.ServerPaths(src, dst)
+	if len(paths) > k {
+		paths = paths[:k]
+	}
+	out := make([][]int, 0, len(paths))
+	for _, p := range paths {
+		dp := make([]int, len(p.Links))
+		for i, id := range p.Links {
+			l := g.Link(id)
+			dir := 0
+			if p.Nodes[i] != l.A {
+				dir = 1
+			}
+			orig := id
+			if linkMap != nil {
+				orig = linkMap[id]
+			}
+			dp[i] = 2*orig + dir
+		}
+		out = append(out, dp)
+	}
+	return out
+}
+
+// ruleTime prices a table swap with the delay model's per-rule constants,
+// following control.ConvertPods: the old rules are deleted and the new
+// ones installed; parallel configuration is bounded by the busiest switch.
+func ruleTime(old, new map[int]int, d control.DelayModel) float64 {
+	var del, add int
+	if d.Parallel {
+		for _, n := range old {
+			if n > del {
+				del = n
+			}
+		}
+		for _, n := range new {
+			if n > add {
+				add = n
+			}
+		}
+	} else {
+		for _, n := range old {
+			del += n
+		}
+		for _, n := range new {
+			add += n
+		}
+	}
+	return float64(del)*d.PerRuleDelete + float64(add)*d.PerRuleAdd
+}
+
+// crossesDead reports whether any path uses a masked directed slot.
+func crossesDead(paths [][]int, dead map[int]bool) bool {
+	for _, p := range paths {
+		for _, s := range p {
+			if dead[s] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pathsEqual compares two directed path sets exactly.
+func pathsEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -396,3 +396,167 @@ func TestHybridNeverCached(t *testing.T) {
 		t.Fatal("hybrid mode served from the uniform-mode cache")
 	}
 }
+
+func TestRepairLinkRollsBackOnError(t *testing.T) {
+	// RepairLink must restore the failure record if reinstall fails, so
+	// bookkeeping never diverges from installed state. Reinstall cannot
+	// fail on the example network (repair only adds links back), so this
+	// exercises the bookkeeping contract indirectly: a failed link stays
+	// listed across conversions and repairs cleanly afterwards.
+	c := exampleController(t)
+	tp := c.Realization().Topo
+	var a, b int
+	for _, l := range tp.G.Links() {
+		na, nb := tp.Nodes[l.A], tp.Nodes[l.B]
+		if na.Kind != 0 && nb.Kind != 0 {
+			a, b = l.A, l.B
+			break
+		}
+	}
+	if err := c.FailLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Convert(core.ModeGlobal); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FailedLinks(); len(got) != 1 || got[0] != [3]int{a, b, 1} {
+		t.Fatalf("failed links after conversion = %v", got)
+	}
+	if err := c.RepairLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.FailedLinks()) != 0 {
+		t.Fatal("repair left a record behind")
+	}
+}
+
+func TestFailedLinksSorted(t *testing.T) {
+	c := exampleController(t)
+	tp := c.Realization().Topo
+	var cuts [][2]int
+	for _, l := range tp.G.Links() {
+		na, nb := tp.Nodes[l.A], tp.Nodes[l.B]
+		if na.Kind != 0 && nb.Kind != 0 {
+			cuts = append(cuts, [2]int{l.A, l.B})
+			if len(cuts) == 3 {
+				break
+			}
+		}
+	}
+	// Fail in reverse discovery order (skipping cuts the controller
+	// refuses as partitioning); the listing must still come back
+	// ascending, and identically on every call (the map-iteration bug).
+	failed := 0
+	for i := len(cuts) - 1; i >= 0; i-- {
+		if err := c.FailLink(cuts[i][0], cuts[i][1]); err == nil {
+			failed++
+		}
+	}
+	if failed < 2 {
+		t.Fatalf("only %d links failed, need at least 2 to observe ordering", failed)
+	}
+	first := c.FailedLinks()
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] > b[1]) {
+			t.Fatalf("FailedLinks not sorted: %v", first)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		if got := c.FailedLinks(); len(got) != len(first) {
+			t.Fatalf("listing length changed: %v vs %v", got, first)
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("listing order changed between calls: %v vs %v", got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestDormantFailureReappliesAfterConversion(t *testing.T) {
+	// §4.3: failures are identified by endpoint node IDs, stable across
+	// conversions. A failure recorded on an adjacency only the global
+	// mode realizes goes dormant in Clos mode (the broken cable is not in
+	// use) and must re-apply when converting back.
+	c := exampleController(t)
+
+	// Baseline link counts of both clean modes.
+	if _, err := c.Convert(core.ModeClos); err != nil {
+		t.Fatal(err)
+	}
+	closLinks := c.Realization().Topo.G.NumLinks()
+	if _, err := c.Convert(core.ModeGlobal); err != nil {
+		t.Fatal(err)
+	}
+	globalTopo := c.Realization().Topo
+	globalLinks := globalTopo.G.NumLinks()
+
+	// Find an adjacency realized in global mode but not in Clos mode.
+	closAdj := make(map[[2]int]bool)
+	nw2, err := core.ExampleNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2.SetMode(core.ModeClos)
+	ct := nw2.Realize().Topo
+	for _, l := range ct.G.Links() {
+		a, b := l.A, l.B
+		if a > b {
+			a, b = b, a
+		}
+		closAdj[[2]int{a, b}] = true
+	}
+	var ga, gb int
+	found := false
+	for _, l := range globalTopo.G.Links() {
+		na, nb := globalTopo.Nodes[l.A], globalTopo.Nodes[l.B]
+		if na.Kind == 0 || nb.Kind == 0 {
+			continue
+		}
+		a, b := l.A, l.B
+		if a > b {
+			a, b = b, a
+		}
+		if !closAdj[[2]int{a, b}] {
+			ga, gb = l.A, l.B
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no global-only adjacency found")
+	}
+
+	if err := c.FailLink(ga, gb); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Realization().Topo.G.NumLinks(); got != globalLinks-1 {
+		t.Fatalf("links after failure = %d, want %d", got, globalLinks-1)
+	}
+	// Convert to Clos: the failure is dormant — the surviving Clos
+	// realization is at full strength.
+	if _, err := c.Convert(core.ModeClos); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Realization().Topo.G.NumLinks(); got != closLinks {
+		t.Fatalf("dormant failure pruned a Clos link: %d links, want %d", got, closLinks)
+	}
+	if got := c.FailedLinks(); len(got) != 1 {
+		t.Fatalf("dormant failure dropped from the record: %v", got)
+	}
+	// Convert back: the mask re-applies.
+	if _, err := c.Convert(core.ModeGlobal); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Realization().Topo.G.NumLinks(); got != globalLinks-1 {
+		t.Fatalf("mask did not re-apply after conversion back: %d links, want %d", got, globalLinks-1)
+	}
+	if err := c.RepairLink(ga, gb); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Realization().Topo.G.NumLinks(); got != globalLinks {
+		t.Fatalf("links after repair = %d, want %d", got, globalLinks)
+	}
+}

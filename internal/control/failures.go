@@ -2,6 +2,7 @@ package control
 
 import (
 	"fmt"
+	"sort"
 
 	"flattree/internal/core"
 	"flattree/internal/topo"
@@ -37,6 +38,8 @@ func (c *Controller) FailLink(a, b int) error {
 }
 
 // RepairLink clears one recorded failure between a and b and reinstalls.
+// On reinstall failure the record is restored, symmetric with FailLink, so
+// the controller's failure bookkeeping always matches its installed state.
 func (c *Controller) RepairLink(a, b int) error {
 	key := linkKey(a, b)
 	if c.failed[key] == 0 {
@@ -47,15 +50,26 @@ func (c *Controller) RepairLink(a, b int) error {
 		delete(c.failed, key)
 	}
 	c.routeCache = make(map[core.Mode]*cachedRoutes) // graph changed
-	return c.reinstall()
+	if err := c.reinstall(); err != nil {
+		c.failed[key]++
+		return fmt.Errorf("control: repairing link %d-%d: %w", a, b, err)
+	}
+	return nil
 }
 
-// FailedLinks lists recorded failures as (a, b, count) triples.
+// FailedLinks lists recorded failures as (a, b, count) triples, sorted by
+// (a, b) ascending so output is deterministic across runs.
 func (c *Controller) FailedLinks() [][3]int {
 	var out [][3]int
 	for k, n := range c.failed {
 		out = append(out, [3]int{k[0], k[1], n})
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
 	return out
 }
 

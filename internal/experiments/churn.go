@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"flattree/internal/churn"
+	"flattree/internal/control"
+	"flattree/internal/core"
+	"flattree/internal/flowsim"
+	"flattree/internal/metrics"
+	"flattree/internal/parallel"
+	"flattree/internal/routing"
+	"flattree/internal/traffic"
+)
+
+// The churn study extends AblationFailures from static failure fractions
+// to failures arriving over time while traffic is in flight. A seeded
+// trace of link failures and repairs is compiled into simulator events
+// with a modeled control-plane reaction (detection + §4.3 rule-update
+// latency); flows keep stale paths until the reaction lands, then move to
+// surviving k-shortest paths, and disconnected flows stall with bounded
+// retry instead of aborting the run. Reported per mode: flow-completion
+// time degradation against a churn-free baseline, reroute and stall
+// counts, and flows left unfinished at the horizon.
+
+// ChurnRow is one mode's churn-versus-baseline measurement.
+type ChurnRow struct {
+	Mode core.Mode
+	// BaselineMeanFCT and BaselineP99FCT are flow-completion times of the
+	// same workload with no failures, in seconds.
+	BaselineMeanFCT, BaselineP99FCT float64
+	// ChurnMeanFCT and ChurnP99FCT cover flows that finish under churn.
+	ChurnMeanFCT, ChurnP99FCT float64
+	// Reroutes is the total number of path installations taken by flows
+	// after their initial routes.
+	Reroutes int
+	// Stalled counts flows that spent any time with no usable path.
+	Stalled int
+	// MeanStall is the mean stall time over stalled flows, in seconds.
+	MeanStall float64
+	// Unfinished counts flows still incomplete at the horizon.
+	Unfinished int
+}
+
+// Churn runs the failure-over-time study on the reduced topo-1 for Clos
+// and global modes: the identical seeded trace and permutation workload,
+// so the FCT degradation isolates how each topology absorbs churn.
+func (c Config) Churn() ([]ChurnRow, error) {
+	name := "mini-1"
+	if c.Full {
+		name = "topo-1"
+	}
+	p, err := c.paramsByName(name)
+	if err != nil {
+		return nil, err
+	}
+	nFail, horizon := 6, 60.0
+	if c.Full {
+		nFail = 12
+	}
+	delay := control.TestbedDelayModel()
+	delay.Parallel = true
+	modes := []core.Mode{core.ModeClos, core.ModeGlobal}
+	rows := make([]ChurnRow, len(modes))
+	err = parallel.Default().ForEachErr(context.Background(), len(modes), func(_ context.Context, mi int) error {
+		mode := modes[mi]
+		nw, err := core.New(p, flatTreeOptions(p))
+		if err != nil {
+			return err
+		}
+		nw.SetMode(mode)
+		t := nw.Realize().Topo
+		servers := t.Servers()
+		var conns []churn.Conn
+		for _, pr := range traffic.Permutation(len(servers), c.Seed) {
+			conns = append(conns, churn.Conn{Src: servers[pr.Src], Dst: servers[pr.Dst], Bits: 20})
+		}
+		eng := &churn.Engine{Topo: t, K: 8, Detection: 0.05, Delay: delay}
+		trace := churn.GenerateTrace(t, nFail, 1.0, 0.5, c.Seed+31)
+		plan, err := eng.Compile(trace, conns)
+		if err != nil {
+			return fmt.Errorf("churn %v: %w", mode, err)
+		}
+		caps := routing.DirectedCaps(t.G)
+
+		base, err := flowsim.NewSim(caps, plan.Specs).Run()
+		if err != nil {
+			return fmt.Errorf("churn %v baseline: %w", mode, err)
+		}
+		sim := flowsim.NewSim(caps, plan.Specs)
+		sim.Schedule(plan.Events)
+		sim.Horizon = horizon
+		res, err := sim.Run()
+		if err != nil {
+			return fmt.Errorf("churn %v: %w", mode, err)
+		}
+
+		row := ChurnRow{Mode: mode}
+		var baseFCT, churnFCT, stalls []float64
+		for i, r := range base {
+			baseFCT = append(baseFCT, r.Finish-plan.Specs[i].Arrival)
+		}
+		for i, r := range res {
+			row.Reroutes += r.Reroutes
+			if r.StallTime > 0 {
+				row.Stalled++
+				stalls = append(stalls, r.StallTime)
+			}
+			if math.IsInf(r.Finish, 1) {
+				row.Unfinished++
+				continue
+			}
+			churnFCT = append(churnFCT, r.Finish-plan.Specs[i].Arrival)
+		}
+		row.BaselineMeanFCT = metrics.Mean(baseFCT)
+		row.BaselineP99FCT = metrics.Percentile(baseFCT, 0.99)
+		row.ChurnMeanFCT = metrics.Mean(churnFCT)
+		row.ChurnP99FCT = metrics.Percentile(churnFCT, 0.99)
+		if len(stalls) > 0 {
+			row.MeanStall = metrics.Mean(stalls)
+		}
+		rows[mi] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderChurn formats the churn study.
+func RenderChurn(rows []ChurnRow) string {
+	t := &metrics.Table{Header: []string{
+		"mode", "mean FCT (s)", "mean FCT churn", "p99 FCT", "p99 FCT churn",
+		"reroutes", "stalled", "mean stall (s)", "unfinished",
+	}}
+	for _, r := range rows {
+		t.Add(r.Mode.String(), r.BaselineMeanFCT, r.ChurnMeanFCT,
+			r.BaselineP99FCT, r.ChurnP99FCT,
+			r.Reroutes, r.Stalled, r.MeanStall, r.Unfinished)
+	}
+	return t.String()
+}

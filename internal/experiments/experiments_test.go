@@ -479,6 +479,7 @@ func TestRegistrySweep(t *testing.T) {
 		"ablation-sidewiring": "ring",
 		"ablation-k":          "concurrent paths",
 		"ablation-failures":   "links failed",
+		"churn":               "mean FCT churn",
 		"ablation-packet":     "packet/fluid",
 		"ablation-packet-fct": "median FCT",
 		"ablation-gradual":    "bandwidth floor",

@@ -77,3 +77,14 @@ func TestGoldenFig6Small(t *testing.T) {
 		return r.Render(), nil
 	})
 }
+
+func TestGoldenChurnSmall(t *testing.T) {
+	cfg := Config{Seed: 1, Epsilon: 0.25}
+	goldenCompare(t, "churn_small", func() (string, error) {
+		rows, err := cfg.Churn()
+		if err != nil {
+			return "", err
+		}
+		return RenderChurn(rows), nil
+	})
+}

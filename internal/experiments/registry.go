@@ -203,6 +203,13 @@ var registry = map[string]func(Config) (string, error){
 		}
 		return RenderAblationFailures(rows), nil
 	},
+	"churn": func(c Config) (string, error) {
+		rows, err := c.Churn()
+		if err != nil {
+			return "", err
+		}
+		return RenderChurn(rows), nil
+	},
 	"cost": func(c Config) (string, error) {
 		params := c.baseParams()
 		return cost.Table(params, cost.DefaultModel(), func(p topo.ClosParams) (*core.Network, error) {

@@ -1,0 +1,207 @@
+package flowsim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSimEventCapacityChange checks mid-run capacity drops slow a flow:
+// 100 bits at 10 for 2 s (80 left), then at 5 until done.
+func TestSimEventCapacityChange(t *testing.T) {
+	caps := []float64{10}
+	specs := []ConnSpec{{Paths: [][]int{{0}}, Bits: 100}}
+	s := NewSim(caps, specs)
+	s.Schedule([]TopoEvent{{Time: 2, SetCaps: map[int]float64{0: 5}}})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res[0].Finish; math.Abs(got-18) > 1e-9 {
+		t.Fatalf("finish = %v, want 18", got)
+	}
+	if res[0].StallTime != 0 || res[0].Reroutes != 0 {
+		t.Fatalf("unexpected stall/reroute: %+v", res[0])
+	}
+}
+
+// TestSimStallAndReroute kills a flow's only link at t=1 and installs a
+// replacement path at t=3: the flow must stall (not error), resume on its
+// bounded-backoff retry, and report the stall and reroute.
+func TestSimStallAndReroute(t *testing.T) {
+	caps := []float64{10, 10}
+	specs := []ConnSpec{{Paths: [][]int{{0}}, Bits: 100}}
+	s := NewSim(caps, specs)
+	s.RetryBase, s.RetryMax = 0.5, 0.5 // probes at 1.5, 2.0, 2.5, 3.0
+	s.Schedule([]TopoEvent{
+		{Time: 1, SetCaps: map[int]float64{0: 0}},
+		{Time: 3, Reroute: map[int][][]int{0: {{1}}}},
+	})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 bits sent by t=1; stalled 1..3 (reroute lands at 3, the probe at
+	// 3.0 succeeds); 90 bits at 10 finish at 12.
+	if got := res[0].Finish; math.Abs(got-12) > 1e-9 {
+		t.Fatalf("finish = %v, want 12", got)
+	}
+	if got := res[0].StallTime; math.Abs(got-2) > 1e-9 {
+		t.Fatalf("stall = %v, want 2", got)
+	}
+	if res[0].Reroutes != 1 {
+		t.Fatalf("reroutes = %d, want 1", res[0].Reroutes)
+	}
+}
+
+// TestSimRetryBackoffDelaysResume verifies the reroute is not picked up
+// instantly: with a long backoff the flow resumes at its next probe after
+// the paths return, not at the event time.
+func TestSimRetryBackoffDelaysResume(t *testing.T) {
+	caps := []float64{10, 10}
+	specs := []ConnSpec{{Paths: [][]int{{0}}, Bits: 100}}
+	s := NewSim(caps, specs)
+	s.RetryBase, s.RetryMax = 2, 2 // probes at 3, 5, ...
+	s.Schedule([]TopoEvent{
+		{Time: 1, SetCaps: map[int]float64{0: 0}},
+		{Time: 3.5, Reroute: map[int][][]int{0: {{1}}}},
+	})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stall 1..5 (probe at 3 fails, probe at 5 finds the new path):
+	// 90 bits at 10 finish at 14.
+	if got := res[0].Finish; math.Abs(got-14) > 1e-9 {
+		t.Fatalf("finish = %v, want 14", got)
+	}
+	if got := res[0].StallTime; math.Abs(got-4) > 1e-9 {
+		t.Fatalf("stall = %v, want 4", got)
+	}
+}
+
+// TestSimDisconnectedFlowReportsStall verifies a flow whose path dies for
+// good does not abort the run: it parks, accrues stall time to the
+// horizon, and is reported unfinished.
+func TestSimDisconnectedFlowReportsStall(t *testing.T) {
+	caps := []float64{10, 10}
+	specs := []ConnSpec{
+		{Paths: [][]int{{0}}, Bits: 1000},
+		{Paths: [][]int{{1}}, Bits: 40},
+	}
+	s := NewSim(caps, specs)
+	s.Horizon = 10
+	s.Schedule([]TopoEvent{{Time: 2, SetCaps: map[int]float64{0: 0}}})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res[0].Finish, 1) {
+		t.Fatal("disconnected flow completed")
+	}
+	if got := res[0].StallTime; math.Abs(got-8) > 1e-9 {
+		t.Fatalf("stall = %v, want 8 (t=2 to horizon)", got)
+	}
+	// The healthy flow is unaffected.
+	if got := res[1].Finish; math.Abs(got-4) > 1e-9 {
+		t.Fatalf("healthy flow finish = %v, want 4", got)
+	}
+}
+
+// TestSimEmptyPathsStallOnArrival: a connection admitted with no surviving
+// route (empty path list, graceful mode) stalls immediately and resumes
+// when a reroute installs paths.
+func TestSimEmptyPathsStallOnArrival(t *testing.T) {
+	caps := []float64{10}
+	specs := []ConnSpec{{Paths: nil, Bits: 50, Arrival: 1}}
+	s := NewSim(caps, specs)
+	s.RetryBase, s.RetryMax = 0.25, 0.25
+	s.Schedule([]TopoEvent{{Time: 2, Reroute: map[int][][]int{0: {{0}}}}})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stalled 1..2 (probe at 2.0 succeeds: 1 + 4*0.25), 50 bits at 10.
+	if got := res[0].Finish; math.Abs(got-7) > 1e-9 {
+		t.Fatalf("finish = %v, want 7", got)
+	}
+	if got := res[0].StallTime; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("stall = %v, want 1", got)
+	}
+}
+
+// TestSimRepairRestoresCapacity drives a link to zero and back: the flow
+// stalls during the outage and completes after repair with no reroute.
+func TestSimRepairRestoresCapacity(t *testing.T) {
+	caps := []float64{10}
+	specs := []ConnSpec{{Paths: [][]int{{0}}, Bits: 100}}
+	s := NewSim(caps, specs)
+	s.RetryBase, s.RetryMax = 0.5, 0.5
+	s.Schedule([]TopoEvent{
+		{Time: 1, SetCaps: map[int]float64{0: 0}},
+		{Time: 2.25, SetCaps: map[int]float64{0: 10}},
+	})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stall 1..2.5 (probes at 1.5 and 2.0 fail — link dead; 2.25 restores
+	// it; the probe at 2.5 succeeds): 90 bits at 10 finish at 11.5.
+	if got := res[0].Finish; math.Abs(got-11.5) > 1e-9 {
+		t.Fatalf("finish = %v, want 11.5", got)
+	}
+	if res[0].Reroutes != 0 {
+		t.Fatalf("reroutes = %d, want 0", res[0].Reroutes)
+	}
+}
+
+// TestSimEventDeterminism runs a churn-heavy simulation many times and
+// asserts bit-identical results — the map-iteration bug this PR fixes
+// would make float accumulation order (and completion times) vary.
+func TestSimEventDeterminism(t *testing.T) {
+	build := func() ([]ConnResult, error) {
+		caps := make([]float64, 8)
+		for i := range caps {
+			caps[i] = 10
+		}
+		var specs []ConnSpec
+		for i := 0; i < 24; i++ {
+			specs = append(specs, ConnSpec{
+				Paths:   [][]int{{i % 8}, {(i + 3) % 8}},
+				Bits:    float64(20 + i),
+				Arrival: float64(i%5) * 0.1,
+			})
+		}
+		s := NewSim(caps, specs)
+		s.Schedule([]TopoEvent{
+			{Time: 0.5, SetCaps: map[int]float64{2: 0, 3: 0}},
+			{Time: 0.9, Reroute: map[int][][]int{2: {{4}}, 5: {{5}}, 10: {{6}}}},
+			{Time: 1.4, SetCaps: map[int]float64{2: 10, 3: 10}},
+		})
+		return s.Run()
+	}
+	ref, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		got, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d conn %d: %+v != %+v", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestSimNonGracefulStillErrors: without Graceful, the legacy contract
+// holds — a starved connection aborts the run.
+func TestSimNonGracefulStillErrors(t *testing.T) {
+	caps := []float64{0}
+	specs := []ConnSpec{{Paths: [][]int{{0}}, Bits: 10}}
+	if _, err := NewSim(caps, specs).Run(); err == nil {
+		t.Fatal("starved simulation did not error without Graceful")
+	}
+}

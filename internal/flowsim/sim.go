@@ -11,7 +11,10 @@ import (
 // ConnSpec describes one connection entering the simulation.
 type ConnSpec struct {
 	// Paths are the connection's subflow paths as link-ID lists. MPTCP
-	// connections pass k paths; TCP passes one.
+	// connections pass k paths; TCP passes one. An empty path list is
+	// rejected unless the simulation runs gracefully (see Sim.Graceful),
+	// where it marks a connection with no surviving route: it stalls on
+	// arrival instead of transmitting.
 	Paths [][]int
 	// Bits is the transfer size; math.Inf(1) makes the connection
 	// persistent (it never completes — iPerf-style).
@@ -30,10 +33,34 @@ type ConnResult struct {
 	Start, Finish float64
 	// Bits echoes the transfer size.
 	Bits float64
+	// StallTime is the total time the connection spent with no usable
+	// path (zero rate on every subflow) under graceful degradation.
+	StallTime float64
+	// Reroutes counts the path-set replacements applied to the connection
+	// by topology events while it was outstanding.
+	Reroutes int
 }
 
 // FCT returns the flow completion time.
 func (c ConnResult) FCT() float64 { return c.Finish - c.Start }
+
+// TopoEvent is one scheduled mid-run change to the simulated fabric: link
+// failures drive capacities to zero the instant they happen (the data
+// plane blackholes immediately), and the control plane's reaction arrives
+// as a later reroute event — the churn engine compiles failure traces into
+// exactly this pair.
+type TopoEvent struct {
+	// Time is when the change takes effect, in simulation seconds.
+	Time float64
+	// SetCaps overwrites the capacity of the given directed link slots
+	// (see routing.DirectedLinkIDs); zero fails a direction.
+	SetCaps map[int]float64
+	// Reroute replaces the path sets of connections by index. The new set
+	// applies to running connections and to ones that have not arrived
+	// yet. An empty list disconnects the connection: it stalls until a
+	// later event restores paths (or forever, reported as stall time).
+	Reroute map[int][][]int
+}
 
 // Sim is an event-driven flow-level simulation over a fixed topology.
 type Sim struct {
@@ -49,11 +76,61 @@ type Sim struct {
 	// Sample, when set, is called at every event boundary with the
 	// current time and per-connection rates (valid until the next call).
 	Sample func(t float64, connRates []float64)
+
+	// Graceful switches starved finite connections from erroring the run
+	// to stalling: a connection whose every subflow sits at zero rate is
+	// parked and retries with bounded exponential backoff, accruing
+	// StallTime until a topology event revives it. Schedule sets this
+	// automatically; it can also be enabled for static runs.
+	Graceful bool
+	// RetryBase and RetryMax bound the stall-retry backoff in seconds
+	// (the RTO-style doubling of a transport that lost its path); zero
+	// values default to 1 ms and 256 ms.
+	RetryBase, RetryMax float64
+
+	events []TopoEvent
 }
 
 // NewSim creates a simulation over links with the given capacities.
 func NewSim(caps []float64, specs []ConnSpec) *Sim {
 	return &Sim{caps: caps, specs: specs, LocalRate: 10}
+}
+
+// Schedule installs mid-run topology events, sorted by time (ties keep
+// argument order), and enables graceful degradation — scheduled failures
+// mean paths can die mid-run, which must stall flows rather than abort
+// the whole experiment.
+func (s *Sim) Schedule(events []TopoEvent) {
+	s.events = append(s.events[:0:0], events...)
+	sort.SliceStable(s.events, func(a, b int) bool { return s.events[a].Time < s.events[b].Time })
+	s.Graceful = true
+}
+
+func (s *Sim) retryBounds() (base, max float64) {
+	base, max = s.RetryBase, s.RetryMax
+	if base <= 0 {
+		base = 1e-3
+	}
+	if max <= 0 {
+		max = 0.256
+	}
+	if max < base {
+		max = base
+	}
+	return base, max
+}
+
+// sortedActive returns the active connection IDs in ascending order. Every
+// per-event loop iterates this slice instead of the active map, so float
+// accumulation order — and therefore output bytes — are independent of map
+// layout.
+func sortedActive(active map[int]bool) []int {
+	ids := make([]int, 0, len(active))
+	for c := range active {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // Run executes the simulation and returns per-connection results in spec
@@ -62,9 +139,10 @@ func (s *Sim) Run() ([]ConnResult, error) {
 	n := len(s.specs)
 	results := make([]ConnResult, n)
 	remaining := make([]float64, n)
+	paths := make([][][]int, n)
 	order := make([]int, n)
 	for i, sp := range s.specs {
-		if len(sp.Paths) == 0 {
+		if len(sp.Paths) == 0 && !s.Graceful {
 			return nil, fmt.Errorf("flowsim: connection %d has no paths", i)
 		}
 		if sp.Bits <= 0 {
@@ -72,14 +150,24 @@ func (s *Sim) Run() ([]ConnResult, error) {
 		}
 		results[i] = ConnResult{Start: sp.Arrival, Finish: math.Inf(1), Bits: sp.Bits}
 		remaining[i] = sp.Bits
+		paths[i] = sp.Paths
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		return s.specs[order[a]].Arrival < s.specs[order[b]].Arrival
 	})
 
+	// Capacities are private: topology events mutate them mid-run.
+	caps := append([]float64(nil), s.caps...)
+	retryBase, retryMax := s.retryBounds()
+
 	active := make(map[int]bool)
+	stalled := make([]bool, n)  // parked: excluded from allocation
+	retrying := make([]bool, n) // woken for a backoff probe this instant
+	backoff := make([]float64, n)
+	nextRetry := make([]float64, n)
 	nextArrival := 0
+	nextEvent := 0
 	t := 0.0
 	if n == 0 {
 		return results, nil
@@ -89,35 +177,161 @@ func (s *Sim) Run() ([]ConnResult, error) {
 	events := telemetry.C("flowsim_events_total")
 	completed := telemetry.C("flowsim_flows_completed_total")
 	fct := telemetry.H("flowsim_fct_seconds")
+	stalls := telemetry.C("flowsim_stalls_total")
+	reroutes := telemetry.C("flowsim_reroutes_total")
+	disconnected := telemetry.C("flowsim_disconnected_total")
+	stallHist := telemetry.H("flowsim_stall_seconds")
+
+	// finish records stall histograms once and returns the results.
+	finish := func() []ConnResult {
+		for i := range results {
+			if results[i].StallTime > 0 {
+				stallHist.Observe(results[i].StallTime)
+			}
+		}
+		return results
+	}
+	// stall parks connection c at time now: a fresh stall starts the
+	// backoff at its base; a failed retry probe doubles it up to the cap.
+	stall := func(c int, now float64) {
+		if stalled[c] {
+			return
+		}
+		stalled[c] = true
+		if retrying[c] {
+			backoff[c] *= 2
+			if backoff[c] > retryMax {
+				backoff[c] = retryMax
+			}
+		} else {
+			backoff[c] = retryBase
+			stalls.Inc()
+		}
+		retrying[c] = false
+		nextRetry[c] = now + backoff[c]
+	}
+
 	for {
 		events.Inc()
+		// Apply topology events due at the current time, in schedule order.
+		for nextEvent < len(s.events) && s.events[nextEvent].Time <= t+1e-12 {
+			ev := s.events[nextEvent]
+			nextEvent++
+			for id, cp := range ev.SetCaps {
+				if id < 0 || id >= len(caps) {
+					return nil, fmt.Errorf("flowsim: event at t=%v sets capacity of link %d of %d", ev.Time, id, len(caps))
+				}
+				caps[id] = cp
+			}
+			// Reroutes apply in ascending connection order (bookkeeping
+			// only — path replacement is order-independent, counters are
+			// not).
+			recs := make([]int, 0, len(ev.Reroute))
+			for c := range ev.Reroute {
+				recs = append(recs, c)
+			}
+			sort.Ints(recs)
+			for _, c := range recs {
+				if c < 0 || c >= n {
+					return nil, fmt.Errorf("flowsim: event at t=%v reroutes connection %d of %d", ev.Time, c, n)
+				}
+				if !math.IsInf(results[c].Finish, 1) {
+					continue // already completed
+				}
+				paths[c] = ev.Reroute[c]
+				results[c].Reroutes++
+				reroutes.Inc()
+			}
+		}
 		// Admit arrivals at the current time.
 		for nextArrival < n && s.specs[order[nextArrival]].Arrival <= t+1e-12 {
 			active[order[nextArrival]] = true
 			nextArrival++
 		}
+		// Wake stalled connections whose retry timer fired; the allocation
+		// below decides whether the probe succeeds.
+		act := sortedActive(active)
+		for _, c := range act {
+			if stalled[c] && nextRetry[c] <= t+1e-12 {
+				stalled[c] = false
+				retrying[c] = true
+			}
+		}
 		if len(active) == 0 {
 			if nextArrival >= n {
 				break
 			}
-			t = s.specs[order[nextArrival]].Arrival
+			// Jump to whichever comes first: the next arrival or the next
+			// topology event (events still apply with no flows running,
+			// keeping capacities and path sets current for later
+			// arrivals).
+			jump := s.specs[order[nextArrival]].Arrival
+			if nextEvent < len(s.events) && s.events[nextEvent].Time < jump {
+				jump = s.events[nextEvent].Time
+			}
+			t = jump
 			continue
 		}
-		// Allocate rates for the active set.
-		connRates, err := s.allocate(active)
+		// Allocate rates for the running (non-stalled) set.
+		run := make([]int, 0, len(act))
+		for _, c := range act {
+			if !stalled[c] {
+				run = append(run, c)
+			}
+		}
+		connRates, err := s.allocate(caps, run, paths)
 		if err != nil {
 			return nil, err
+		}
+		// Graceful degradation: finite connections at zero rate lost every
+		// path. While future events could revive them they park and retry;
+		// once no event or arrival remains, nothing can — park them for
+		// good (infinite retry timer), so they accrue stall time for the
+		// rest of the simulated span instead of burning retry probes.
+		if s.Graceful {
+			noFuture := nextArrival >= n && nextEvent >= len(s.events)
+			starved := false
+			for _, c := range run {
+				if math.IsInf(remaining[c], 1) {
+					continue
+				}
+				if connRates[c] <= 1e-15 {
+					if noFuture {
+						stalled[c] = true
+						retrying[c] = false
+						nextRetry[c] = math.Inf(1)
+						disconnected.Inc()
+					} else {
+						stall(c, t)
+					}
+					starved = true
+					continue
+				}
+				retrying[c] = false // probe succeeded: connection resumed
+			}
+			if starved {
+				continue // reallocate without the just-parked connections
+			}
 		}
 		if s.Sample != nil {
 			s.Sample(t, connRates)
 		}
-		// Next event: earliest completion or next arrival.
+		// Next event: earliest completion, arrival, topology event, or
+		// stall-retry probe.
 		nextT := math.Inf(1)
 		if nextArrival < n {
 			nextT = s.specs[order[nextArrival]].Arrival
 		}
+		if nextEvent < len(s.events) && s.events[nextEvent].Time < nextT {
+			nextT = s.events[nextEvent].Time
+		}
+		for _, c := range act {
+			if stalled[c] && nextRetry[c] < nextT {
+				nextT = nextRetry[c]
+			}
+		}
 		completing := -1
-		for c := range active {
+		for _, c := range run {
 			r := connRates[c]
 			if math.IsInf(remaining[c], 1) || r <= 1e-15 {
 				continue
@@ -128,30 +342,43 @@ func (s *Sim) Run() ([]ConnResult, error) {
 			}
 		}
 		if s.Horizon > 0 && nextT > s.Horizon {
-			// Stop at the horizon; account progress up to it.
+			// Stop at the horizon; account progress (and stall) up to it.
 			dt := s.Horizon - t
-			for c := range active {
+			for _, c := range run {
 				remaining[c] -= connRates[c] * dt
 			}
-			return results, nil
+			for _, c := range act {
+				if stalled[c] {
+					results[c].StallTime += dt
+				}
+			}
+			return finish(), nil
 		}
 		if math.IsInf(nextT, 1) {
 			// Only persistent or starved flows remain.
-			for c := range active {
-				if connRates[c] <= 1e-15 && !math.IsInf(remaining[c], 1) {
+			for _, c := range act {
+				if connRates[c] <= 1e-15 && !math.IsInf(remaining[c], 1) && !stalled[c] {
 					return nil, fmt.Errorf("flowsim: connection %d starved (disconnected path set?)", c)
 				}
 			}
-			return results, nil
+			return finish(), nil
 		}
 		dt := nextT - t
-		for c := range active {
+		for _, c := range run {
 			remaining[c] -= connRates[c] * dt
+		}
+		for _, c := range act {
+			if stalled[c] {
+				results[c].StallTime += dt
+			}
 		}
 		t = nextT
 		// Retire completed connections (the chosen one plus any that hit
 		// zero within tolerance).
-		for c := range active {
+		for _, c := range run {
+			if !active[c] {
+				continue
+			}
 			if !math.IsInf(remaining[c], 1) && (c == completing || remaining[c] <= 1e-6) {
 				results[c].Finish = t
 				delete(active, c)
@@ -160,24 +387,30 @@ func (s *Sim) Run() ([]ConnResult, error) {
 			}
 		}
 	}
-	return results, nil
+	return finish(), nil
 }
 
-// allocate computes per-connection rates for the active set.
-func (s *Sim) allocate(active map[int]bool) ([]float64, error) {
+// allocate computes per-connection rates for the given connection IDs over
+// the current capacities and path sets. IDs must be sorted ascending: the
+// subflow build order fixes the allocator's float accumulation order.
+func (s *Sim) allocate(caps []float64, ids []int, paths [][][]int) ([]float64, error) {
 	var subs []Subflow
-	for c := range active {
+	for _, c := range ids {
 		sp := s.specs[c]
+		pl := paths[c]
+		if len(pl) == 0 {
+			continue // disconnected: no subflows, rate 0
+		}
 		w := sp.Weight
 		if w == 0 {
 			w = 1
 		}
-		per := w / float64(len(sp.Paths))
-		for _, p := range sp.Paths {
+		per := w / float64(len(pl))
+		for _, p := range pl {
 			subs = append(subs, Subflow{Conn: c, Links: p, Weight: per})
 		}
 	}
-	rates, err := MaxMinRates(s.caps, subs)
+	rates, err := MaxMinRates(caps, subs)
 	if err != nil {
 		return nil, err
 	}
@@ -192,12 +425,14 @@ func StaticRates(caps []float64, specs []ConnSpec, localRate float64) ([]float64
 	if localRate > 0 {
 		s.LocalRate = localRate
 	}
-	active := make(map[int]bool, len(specs))
+	ids := make([]int, len(specs))
+	paths := make([][][]int, len(specs))
 	for i, sp := range specs {
 		if len(sp.Paths) == 0 {
 			return nil, fmt.Errorf("flowsim: connection %d has no paths", i)
 		}
-		active[i] = true
+		ids[i] = i
+		paths[i] = sp.Paths
 	}
-	return s.allocate(active)
+	return s.allocate(caps, ids, paths)
 }
