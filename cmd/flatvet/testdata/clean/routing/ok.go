@@ -1,0 +1,14 @@
+// Package routing is a deterministic-scope package with no violations:
+// the exit-code test asserts flatvet returns 0 here.
+package routing
+
+import "sort"
+
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,21 @@
+// Package control seeds the spanend violations.
+package control
+
+import "violations/telemetry"
+
+// Convert discards the span outright: spanend fires.
+func Convert() {
+	telemetry.StartSpan("convert")
+}
+
+// Apply binds the span but never ends it: spanend fires.
+func Apply() {
+	span := telemetry.StartRootSpan("apply")
+	span.SetAttr("phase", "rules")
+}
+
+// Good is the correct shape and must stay silent.
+func Good() {
+	span := telemetry.StartSpan("good")
+	defer span.End()
+}

@@ -1,0 +1,52 @@
+// Package flowsim seeds one violation for each analyzer that scopes to
+// simulated-time deterministic packages. The golden test asserts the
+// exact positions and messages flatvet reports here.
+package flowsim
+
+import "time"
+
+// SumRates: maporder on the loop, floatsum on the accumulation. The
+// ordered waiver is honored by maporder but must NOT silence floatsum.
+func SumRates(m map[int]float64) float64 {
+	sum := 0.0
+	//flatvet:ordered waived to prove floatsum still fires
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Order collects map values in iteration order: maporder fires.
+func Order(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Stamp reads the wall clock in an event path: simclock fires.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// BadWaiver has a reason-less directive: the suite reports it as
+// malformed instead of waiving.
+func BadWaiver(m map[int]int) int {
+	n := 0
+	//flatvet:ordered
+	for range m {
+		n++
+	}
+	return n
+}
+
+// TypoRule waives a rule that does not exist: reported by the suite.
+func TypoRule(m map[int]int) int {
+	n := 0
+	//flatvet:order integer counting is order-independent
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+// Package topo seeds the seededrand violations.
+package topo
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wire picks random ports from the global source: seededrand fires.
+func Wire(n int) int {
+	return rand.Intn(n)
+}
+
+// NewRNG launders time.Now through NewSource: seededrand fires.
+func NewRNG() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}

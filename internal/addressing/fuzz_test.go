@@ -15,7 +15,7 @@ func FuzzAddressRoundTrip(f *testing.F) {
 	f.Add(137, 3, 2, 41)
 	f.Add(-1, 0, 0, 0)
 	f.Add(0, MaxPathID+1, 0, 0)
-	f.Add(1 << 20, 1 << 20, 1 << 20, 1 << 20)
+	f.Add(1<<20, 1<<20, 1<<20, 1<<20)
 	f.Fuzz(func(t *testing.T, switchID, pathID, topoID, serverID int) {
 		a, err := MakeAddress(switchID, pathID, topoID, serverID)
 		inRange := switchID >= 0 && switchID <= MaxSwitchID &&

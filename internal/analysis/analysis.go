@@ -1,0 +1,192 @@
+// Package analysis is flatvet's analyzer framework.
+//
+// It deliberately mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer with a Run(*Pass), Pass carrying Fset/Files/Pkg/TypesInfo,
+// diagnostics reported by position) so each checker could be ported to
+// the upstream framework by swapping imports. The upstream module is
+// not vendored here — the loader in internal/analysis/load and this
+// package together stand in for go/packages + go/analysis using only
+// the standard library and the go command.
+//
+// Two deltas from upstream, both in flatvet's favor:
+//
+//   - Analyzers declare a Scope over import paths, because the repo's
+//     determinism invariants are per-package policy (flowsim must be
+//     reproducible; cmd/topobuild printing a table need not be).
+//   - Reportf consults the //flatvet:<name> waiver index (see package
+//     directive) before recording, so waiver semantics are uniform
+//     across analyzers and unwaivable analyzers simply leave Directive
+//     empty.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"flattree/internal/analysis/directive"
+	"flattree/internal/analysis/load"
+)
+
+// Analyzer is one flatvet check.
+type Analyzer struct {
+	Name string // short lowercase identifier, used in diagnostics
+	Doc  string // one-paragraph description
+
+	// Directive is the //flatvet:<Directive> waiver rule name. Empty
+	// means diagnostics from this analyzer cannot be waived.
+	Directive string
+
+	// Scope reports whether the analyzer applies to a package import
+	// path. Nil means all packages.
+	Scope func(importPath string) bool
+
+	Run func(*Pass) error
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Waivers   *directive.Index
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic unless a matching waiver directive
+// covers its line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Analyzer.Directive != "" && p.Waivers != nil {
+		if _, ok := p.Waivers.Waived(p.Analyzer.Directive, pos); ok {
+			return
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run applies one analyzer to one loaded package and returns its
+// diagnostics. Packages outside the analyzer's scope yield nil.
+func Run(a *Analyzer, pkg *load.Package) ([]Diagnostic, error) {
+	if a.Scope != nil && !a.Scope(pkg.ImportPath) {
+		return nil, nil
+	}
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Waivers:   directive.NewIndex(pkg.Fset, pkg.Files),
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+	}
+	return pass.diags, nil
+}
+
+// SegmentScope returns a Scope matching packages whose final import
+// path segment is one of names. Matching on the final segment keeps the
+// same policy working for the real tree (flattree/internal/flowsim) and
+// for testdata modules (violations/flowsim).
+func SegmentScope(names ...string) func(string) bool {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return func(importPath string) bool {
+		return set[LastSegment(importPath)]
+	}
+}
+
+// LastSegment returns the final slash-separated segment of a path.
+func LastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// WalkStack walks the tree rooted at root in depth-first order, calling
+// fn with each node and the stack of its ancestors (outermost first,
+// not including n itself).
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// PkgFuncCall resolves call to a package-level function of an imported
+// package, returning the package path and function name.
+func PkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	id, okID := sel.X.(*ast.Ident)
+	if !okID {
+		return "", "", false
+	}
+	pn, okPkg := info.Uses[id].(*types.PkgName)
+	if !okPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// in stack (the body the node executes in), or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// FuncBody returns the body of a node returned by EnclosingFunc.
+func FuncBody(fn ast.Node) *ast.BlockStmt {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		return f.Body
+	case *ast.FuncLit:
+		return f.Body
+	}
+	return nil
+}
+
+// SelPkgPath resolves the package that provides sel's member: for
+// pkg.Func selectors the imported package, for method selectors the
+// package that declares the method.
+func SelPkgPath(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[id].(*types.PkgName); ok {
+			return pn.Imported().Path(), true
+		}
+	}
+	if s, ok := info.Selections[sel]; ok {
+		if obj := s.Obj(); obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path(), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,146 @@
+// Package anatest is flatvet's analogue of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer
+// over a testdata module and checks the produced diagnostics against
+// `// want` comments in the sources.
+//
+// A want comment holds one or more quoted regular expressions and sits
+// on the line where the diagnostics are expected:
+//
+//	for range m { // want `range over map`
+//
+// Every diagnostic must match an expectation on its line and every
+// expectation must be matched by exactly one diagnostic; anything else
+// fails the test. Backquoted and double-quoted strings are both
+// accepted.
+package anatest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"flattree/internal/analysis"
+	"flattree/internal/analysis/load"
+)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads patterns (default ./...) rooted at dir — which must contain
+// a go.mod so the go command can list it — and applies a to every
+// loaded package, checking diagnostics against // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded from %s", dir)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: testdata must type-check: %v", pkg.ImportPath, terr)
+		}
+	}
+
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					for _, raw := range parseWants(t, pos.String(), c.Text) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+						}
+						expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !claim(expects, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation at (file, line) whose
+// regexp matches msg.
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the quoted expectation strings from a comment, or
+// nil if the comment carries no want clause.
+func parseWants(t *testing.T, pos, comment string) []string {
+	t.Helper()
+	text := strings.TrimPrefix(strings.TrimPrefix(comment, "//"), "/*")
+	i := strings.Index(text, "want ")
+	if i < 0 {
+		return nil
+	}
+	rest := strings.TrimSpace(text[i+len("want "):])
+	rest = strings.TrimSuffix(rest, "*/")
+	var wants []string
+	for rest != "" {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated backquoted want in %q", pos, comment)
+			}
+			wants = append(wants, rest[1:1+end])
+			rest = rest[end+2:]
+		case '"':
+			s, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				t.Fatalf("%s: bad quoted want in %q: %v", pos, comment, err)
+			}
+			unq, err := strconv.Unquote(s)
+			if err != nil {
+				t.Fatalf("%s: bad quoted want in %q: %v", pos, comment, err)
+			}
+			wants = append(wants, unq)
+			rest = rest[len(s):]
+		default:
+			t.Fatalf("%s: want expectations must be quoted, got %q", pos, rest)
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("%s: want clause with no expectations in %q", pos, comment)
+	}
+	return wants
+}

@@ -1,0 +1,175 @@
+// Package directive parses flatvet waiver comments.
+//
+// A waiver is a line comment of the form
+//
+//	//flatvet:<name> <reason>
+//
+// attached to the line it waives (same line as the flagged statement,
+// or the line immediately above it). <name> identifies the analyzer
+// rule being waived (e.g. "ordered" for maporder) and <reason> is a
+// mandatory free-text justification — a waiver without a reason is
+// itself a diagnostic, so "silently turned off" never type-checks past
+// review.
+//
+// The syntax deliberately mirrors //go:build-style directives: no space
+// after //, a single lowercase tool prefix, and a colon-separated rule
+// name. //flatvet: followed by anything that does not parse is reported
+// by the suite runner as a malformed directive rather than ignored, so
+// typos fail CI instead of silently waiving nothing.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"unicode"
+)
+
+// Prefix is the comment prefix that marks a flatvet directive.
+const Prefix = "//flatvet:"
+
+// Directive is one parsed waiver.
+type Directive struct {
+	Name   string // rule name, e.g. "ordered"
+	Reason string // mandatory justification, trimmed
+}
+
+// String renders the directive back to its canonical comment form.
+func (d Directive) String() string {
+	return Prefix + d.Name + " " + d.Reason
+}
+
+// Parse parses a single comment's text (including the leading //). It
+// returns ok=false if the comment is not a flatvet directive at all.
+// It returns ok=true with err != "" when the comment claims to be a
+// directive but is malformed; err is a human-readable explanation.
+func Parse(comment string) (d Directive, ok bool, err string) {
+	if !strings.HasPrefix(comment, Prefix) {
+		// "// flatvet:ordered" (space after //) is a classic typo that
+		// would otherwise silently not waive; treat it as malformed.
+		if strings.HasPrefix(comment, "//") {
+			trimmed := strings.TrimSpace(comment[2:])
+			if strings.HasPrefix(trimmed, "flatvet:") {
+				return Directive{}, true, "flatvet directive must start exactly with //flatvet: (no space after //)"
+			}
+		}
+		return Directive{}, false, ""
+	}
+	rest := comment[len(Prefix):]
+	name := rest
+	reason := ""
+	if i := strings.IndexFunc(rest, unicode.IsSpace); i >= 0 {
+		name, reason = rest[:i], strings.TrimSpace(rest[i:])
+	}
+	if name == "" {
+		return Directive{}, true, "missing rule name after //flatvet:"
+	}
+	for _, r := range name {
+		if r < 'a' || r > 'z' {
+			return Directive{}, true, "rule name must be lowercase letters, got " + strconvQuote(name)
+		}
+	}
+	if reason == "" {
+		return Directive{}, true, "//flatvet:" + name + " requires a reason (//flatvet:" + name + " <why this is safe>)"
+	}
+	return Directive{Name: name, Reason: reason}, true, ""
+}
+
+// strconvQuote is a minimal strconv.Quote to keep the dependency
+// surface of the fuzzed parser to strings+unicode only.
+func strconvQuote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		if r == '"' || r == '\\' {
+			b.WriteByte('\\')
+		}
+		if unicode.IsPrint(r) {
+			b.WriteRune(r)
+		} else {
+			b.WriteString("\\u")
+			const hex = "0123456789abcdef"
+			for shift := 12; shift >= 0; shift -= 4 {
+				b.WriteByte(hex[(r>>uint(shift))&0xf])
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// Malformed is one syntactically invalid directive found in a file.
+type Malformed struct {
+	Pos token.Pos
+	Err string
+}
+
+// Entry is one well-formed directive and where it appeared.
+type Entry struct {
+	Pos token.Pos
+	D   Directive
+}
+
+// Index holds the parsed directives of one package, queryable by the
+// line a diagnostic lands on.
+type Index struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> directives attached to that line.
+	byLine    map[string]map[int][]Directive
+	entries   []Entry
+	malformed []Malformed
+}
+
+// NewIndex parses every comment in files into an Index. A directive
+// waives its own line and the line below it (so it can sit on the
+// flagged statement or immediately above it).
+func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
+	ix := &Index{fset: fset, byLine: make(map[string]map[int][]Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, isDirective, errText := Parse(c.Text)
+				if !isDirective {
+					continue
+				}
+				if errText != "" {
+					ix.malformed = append(ix.malformed, Malformed{Pos: c.Pos(), Err: errText})
+					continue
+				}
+				ix.entries = append(ix.entries, Entry{Pos: c.Pos(), D: d})
+				pos := fset.Position(c.Pos())
+				lines := ix.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]Directive)
+					ix.byLine[pos.Filename] = lines
+				}
+				// Attach to the comment's own line and the next line.
+				lines[pos.Line] = append(lines[pos.Line], d)
+				lines[pos.Line+1] = append(lines[pos.Line+1], d)
+			}
+		}
+	}
+	return ix
+}
+
+// Waived reports whether a diagnostic of rule name at pos is covered by
+// a directive, returning its reason when it is.
+func (ix *Index) Waived(name string, pos token.Pos) (reason string, ok bool) {
+	p := ix.fset.Position(pos)
+	for _, d := range ix.byLine[p.Filename][p.Line] {
+		if d.Name == name {
+			return d.Reason, true
+		}
+	}
+	return "", false
+}
+
+// Malformed returns the malformed directives found during indexing, in
+// file order.
+func (ix *Index) Malformed() []Malformed { return ix.malformed }
+
+// Entries returns every well-formed directive found during indexing,
+// in file order. The suite uses this to reject waivers naming rules no
+// analyzer owns (a typo like //flatvet:order would otherwise silently
+// waive nothing).
+func (ix *Index) Entries() []Entry { return ix.entries }

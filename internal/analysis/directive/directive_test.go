@@ -1,0 +1,107 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in         string
+		wantOK     bool // is it a flatvet directive at all
+		wantErr    bool // malformed
+		wantName   string
+		wantReason string
+	}{
+		{"//flatvet:ordered integer counts are order-independent", true, false, "ordered", "integer counts are order-independent"},
+		{"//flatvet:rand jitter outside the seeded experiment path", true, false, "rand", "jitter outside the seeded experiment path"},
+		{"//flatvet:clock   wall time feeds telemetry only  ", true, false, "clock", "wall time feeds telemetry only"},
+		{"//flatvet:ordered\tkeys copied then sorted", true, false, "ordered", "keys copied then sorted"},
+		{"// plain comment", false, false, "", ""},
+		{"//go:generate stringer", false, false, "", ""},
+		{"//flatvet:", true, true, "", ""},
+		{"//flatvet:ordered", true, true, "", ""},          // missing reason
+		{"//flatvet:ordered    ", true, true, "", ""},      // whitespace-only reason
+		{"//flatvet:Ordered because", true, true, "", ""},  // uppercase rule
+		{"//flatvet:ord-ered because", true, true, "", ""}, // non-letter rule
+		{"// flatvet:ordered because", true, true, "", ""}, // space after //
+		{"//  flatvet:ordered because", true, true, "", ""},
+		{"//flatvet", false, false, "", ""}, // no colon: not a directive
+	}
+	for _, c := range cases {
+		d, ok, errText := Parse(c.in)
+		if ok != c.wantOK {
+			t.Errorf("Parse(%q) ok = %v, want %v", c.in, ok, c.wantOK)
+			continue
+		}
+		if (errText != "") != c.wantErr {
+			t.Errorf("Parse(%q) err = %q, want malformed=%v", c.in, errText, c.wantErr)
+			continue
+		}
+		if !c.wantErr && ok {
+			if d.Name != c.wantName || d.Reason != c.wantReason {
+				t.Errorf("Parse(%q) = {%q %q}, want {%q %q}", c.in, d.Name, d.Reason, c.wantName, c.wantReason)
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := Directive{Name: "ordered", Reason: "sorted downstream"}
+	d2, ok, errText := Parse(d.String())
+	if !ok || errText != "" || d2 != d {
+		t.Errorf("round trip failed: %v %v %q", d2, ok, errText)
+	}
+}
+
+func TestIndexWaivesOwnAndNextLine(t *testing.T) {
+	src := `package p
+
+func f(m map[int]int) int {
+	n := 0
+	//flatvet:ordered integer sum is order-independent
+	for range m { // line 6
+		n++
+	}
+	for range m { //flatvet:ordered same-line waiver
+		n++
+	}
+	for range m { // line 12: not waived
+		n++
+	}
+	//flatvet:bogus-name!!
+	return n
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(fset, []*ast.File{f})
+
+	posAtLine := func(line int) token.Pos {
+		tf := fset.File(f.Pos())
+		return tf.LineStart(line)
+	}
+	if _, ok := ix.Waived("ordered", posAtLine(6)); !ok {
+		t.Error("line 6 should be waived by the directive on line 5")
+	}
+	if _, ok := ix.Waived("ordered", posAtLine(9)); !ok {
+		t.Error("line 9 should be waived by its same-line directive")
+	}
+	if _, ok := ix.Waived("ordered", posAtLine(12)); ok {
+		t.Error("line 12 should not be waived")
+	}
+	if _, ok := ix.Waived("rand", posAtLine(6)); ok {
+		t.Error("waiver names must match the rule being waived")
+	}
+	if got := len(ix.Malformed()); got != 1 {
+		t.Errorf("got %d malformed directives, want 1 (the bogus-name one)", got)
+	}
+	if reason, ok := ix.Waived("ordered", posAtLine(6)); !ok || reason != "integer sum is order-independent" {
+		t.Errorf("reason = %q, ok = %v", reason, ok)
+	}
+}

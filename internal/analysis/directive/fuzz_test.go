@@ -1,0 +1,66 @@
+package directive
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the waiver-comment parser with arbitrary comment
+// text: it must never panic, a successfully parsed directive must have
+// a lowercase-letter rule name and a non-empty trimmed reason, and
+// rendering it back through String must reparse to the same value.
+func FuzzParse(f *testing.F) {
+	f.Add("//flatvet:ordered integer counts are order-independent")
+	f.Add("//flatvet:rand topology generation is seeded upstream")
+	f.Add("//flatvet:ordered")
+	f.Add("//flatvet:")
+	f.Add("//flatvet")
+	f.Add("// flatvet:ordered reason")
+	f.Add("//flatvet:clock \t wall time feeds telemetry only")
+	f.Add("//flatvet:ORDERED shouting")
+	f.Add("//flatvet:ordered nbsp reason")
+	f.Add("/* block */")
+	f.Add("//")
+	f.Add("")
+	f.Add("//flatvet:ordered \"quoted\\reason\"")
+	f.Fuzz(func(t *testing.T, comment string) {
+		d, ok, errText := Parse(comment)
+		if !ok {
+			if errText != "" {
+				t.Fatalf("Parse(%q): not-a-directive but err %q", comment, errText)
+			}
+			if d != (Directive{}) {
+				t.Fatalf("Parse(%q): not-a-directive but nonzero result %+v", comment, d)
+			}
+			return
+		}
+		if errText != "" {
+			// Malformed: must not leak a partially parsed directive.
+			if d != (Directive{}) {
+				t.Fatalf("Parse(%q): malformed but nonzero result %+v", comment, d)
+			}
+			return
+		}
+		if d.Name == "" || d.Reason == "" {
+			t.Fatalf("Parse(%q): ok directive with empty field: %+v", comment, d)
+		}
+		for _, r := range d.Name {
+			if r < 'a' || r > 'z' {
+				t.Fatalf("Parse(%q): rule name %q has non-lowercase rune", comment, d.Name)
+			}
+		}
+		if strings.TrimSpace(d.Reason) != d.Reason {
+			t.Fatalf("Parse(%q): reason %q not trimmed", comment, d.Reason)
+		}
+		// Canonical form must round-trip — unless the reason itself
+		// contains characters that re-tokenize differently (a reason
+		// with interior newlines cannot appear in a real line comment,
+		// so only assert round-trip for single-line reasons).
+		if !strings.ContainsFunc(d.Reason, func(r rune) bool { return r == '\n' || r == '\r' }) {
+			d2, ok2, err2 := Parse(d.String())
+			if !ok2 || err2 != "" || d2 != d {
+				t.Fatalf("round trip: Parse(%q) -> %+v, ok=%v, err=%q; want %+v", d.String(), d2, ok2, err2, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+// Package floatsum flags floating-point (or complex) accumulation
+// inside the body of a range over a map.
+//
+// This is the sharp end of the maporder invariant: float addition is
+// not associative, so even a loop that looks order-independent ("just
+// summing") produces run-to-run different low bits under Go's
+// randomized map order — the exact bug PR 3 fixed by hand in flowsim's
+// rate accumulator. Because no iteration order makes the body safe
+// short of sorting, this analyzer has no waiver directive: a
+// //flatvet:ordered waiver on the loop does not silence it, and the
+// only fix is to iterate sorted keys.
+package floatsum
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"flattree/internal/analysis"
+	"flattree/internal/analysis/maporder"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:  "floatsum",
+	Doc:   "flags float/complex accumulation (+=, sum = sum + x) inside map-range bodies; unwaivable — sort the keys",
+	Scope: analysis.SegmentScope(maporder.DeterministicPackages...),
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rs.Body, func(bn ast.Node) bool {
+				if asg, ok := bn.(*ast.AssignStmt); ok {
+					checkAssign(pass, asg)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign reports asg when it accumulates a float/complex value:
+// either `x += e` / `x -= e`, or `x = x + e` / `x = e + x` (and the -
+// forms) where both sides name the same x.
+func checkAssign(pass *analysis.Pass, asg *ast.AssignStmt) {
+	switch asg.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if isFloat(pass.TypesInfo.TypeOf(asg.Lhs[0])) {
+			pass.Reportf(asg.TokPos, "float accumulation %s inside map-range body is order-dependent; iterate sorted keys (not waivable)", asg.Tok)
+		}
+	case token.ASSIGN:
+		for i, lhs := range asg.Lhs {
+			if i >= len(asg.Rhs) {
+				break
+			}
+			bin, ok := asg.Rhs[i].(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+				continue
+			}
+			if !isFloat(pass.TypesInfo.TypeOf(lhs)) {
+				continue
+			}
+			l := types.ExprString(lhs)
+			if types.ExprString(bin.X) == l || (bin.Op == token.ADD && types.ExprString(bin.Y) == l) {
+				pass.Reportf(asg.TokPos, "float accumulation %s = %s inside map-range body is order-dependent; iterate sorted keys (not waivable)", l, types.ExprString(asg.Rhs[i]))
+			}
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

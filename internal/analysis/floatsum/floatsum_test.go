@@ -1,0 +1,12 @@
+package floatsum_test
+
+import (
+	"testing"
+
+	"flattree/internal/analysis/anatest"
+	"flattree/internal/analysis/floatsum"
+)
+
+func TestFloatSum(t *testing.T) {
+	anatest.Run(t, "testdata", floatsum.Analyzer)
+}

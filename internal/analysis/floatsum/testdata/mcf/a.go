@@ -1,0 +1,79 @@
+package mcf
+
+// SumRates is the PR-3 bug shape: += on a float inside a map range.
+// Note the //flatvet:ordered waiver does NOT silence floatsum.
+func SumRates(m map[int]float64) float64 {
+	sum := 0.0
+	//flatvet:ordered waived for maporder, but floatsum still fires
+	for _, v := range m {
+		sum += v // want `float accumulation \+= inside map-range body`
+	}
+	return sum
+}
+
+// SumExplicit is the spelled-out form.
+func SumExplicit(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want `float accumulation sum = sum \+ v inside map-range body`
+	}
+	return sum
+}
+
+// SumCommuted accumulates with the variable on the right of +.
+func SumCommuted(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = v + sum // want `float accumulation sum = v \+ sum inside map-range body`
+	}
+	return sum
+}
+
+// SubAccum subtracts; subtraction is just as non-associative.
+func SubAccum(m map[int]float64) float64 {
+	left := 100.0
+	for _, v := range m {
+		left -= v // want `float accumulation -= inside map-range body`
+	}
+	return left
+}
+
+// NestedLoop accumulates in a slice loop nested inside the map range:
+// still order-dependent through the outer map.
+func NestedLoop(m map[int][]float64) float64 {
+	sum := 0.0
+	for _, vs := range m {
+		for _, v := range vs {
+			sum += v // want `float accumulation \+= inside map-range body`
+		}
+	}
+	return sum
+}
+
+// IntCount accumulates integers: order-independent, not reported.
+func IntCount(m map[int]float64) int {
+	n := 0
+	for range m {
+		n += 1
+	}
+	return n
+}
+
+// SliceSum accumulates over a slice: deterministic order, allowed.
+func SliceSum(vs []float64) float64 {
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// FreshAssign overwrites rather than accumulates: allowed (maporder
+// handles whether the loop as a whole is ordered).
+func FreshAssign(m map[int]float64) float64 {
+	last := 0.0
+	for _, v := range m {
+		last = v * 2
+	}
+	return last
+}

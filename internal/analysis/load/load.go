@@ -1,0 +1,171 @@
+// Package load turns `go list -export` output into type-checked syntax
+// trees for the flatvet analyzers.
+//
+// The upstream golang.org/x/tools/go/packages loader is not vendored in
+// this module, so load reimplements the narrow slice flatvet needs: it
+// shells out to the go command (which is always present — it built the
+// tree being analyzed), asks for compiled export data for every
+// dependency, and type-checks only the target packages from source.
+// Dependencies are resolved through their export files via
+// go/importer's lookup hook, so a whole-tree run never type-checks the
+// standard library from source.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File // parsed GoFiles, with comments
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error // soft type errors (empty on a healthy tree)
+}
+
+// listPkg is the subset of `go list -json` output load consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir, compiles export data for the dependency
+// graph, and returns the non-dependency packages type-checked from
+// source. Hard failures (the go command erroring, unparseable files)
+// return an error; per-package type errors are collected in
+// Package.TypeErrors so callers can decide how strict to be.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	// One shared importer: the module has no vendor directory, so source
+	// import paths equal canonical paths and per-package ImportMaps are
+	// only consulted as an override.
+	importMaps := make([]map[string]string, 0, len(targets))
+	lookup := func(path string) (io.ReadCloser, error) {
+		for _, m := range importMaps {
+			if mapped, ok := m[path]; ok {
+				path = mapped
+				break
+			}
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		if len(t.ImportMap) > 0 {
+			importMaps = append(importMaps, t.ImportMap)
+		}
+		pkg, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, t *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		path := filepath.Join(t.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var soft []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { soft = append(soft, err) },
+	}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: t.ImportPath,
+		Name:       t.Name,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: soft,
+	}, nil
+}

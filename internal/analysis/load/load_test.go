@@ -1,0 +1,68 @@
+package load
+
+import (
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+func TestLoadTypeChecksAgainstExportData(t *testing.T) {
+	pkgs, err := Load(repoRoot(t), "./internal/topo", "./internal/graph")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: unexpected type errors: %v", p.ImportPath, p.TypeErrors)
+		}
+		if len(p.Files) == 0 || p.Types == nil {
+			t.Errorf("%s: missing syntax or type info", p.ImportPath)
+		}
+		if len(p.Info.Types) == 0 {
+			t.Errorf("%s: empty types.Info", p.ImportPath)
+		}
+	}
+	// Deterministic ordering by import path.
+	if pkgs[0].ImportPath > pkgs[1].ImportPath {
+		t.Errorf("packages not sorted: %s before %s", pkgs[0].ImportPath, pkgs[1].ImportPath)
+	}
+	// Spot-check that cross-package types resolved through export data:
+	// internal/topo imports internal/graph, and the imported scope must
+	// be populated (an empty scope would mean export data was not read).
+	for _, p := range pkgs {
+		if p.Name != "topo" {
+			continue
+		}
+		var g *types.Package
+		for _, im := range p.Types.Imports() {
+			if im.Name() == "graph" {
+				g = im
+			}
+		}
+		if g == nil {
+			t.Fatal("topo: import of internal/graph not recorded")
+		}
+		if g.Scope().Lookup("Graph") == nil {
+			t.Error("graph export data missing Graph type")
+		}
+	}
+}
+
+func TestLoadBadPatternErrors(t *testing.T) {
+	if _, err := Load(repoRoot(t), "./does/not/exist"); err == nil {
+		t.Fatal("expected error for nonexistent pattern")
+	}
+}

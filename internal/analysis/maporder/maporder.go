@@ -1,0 +1,120 @@
+// Package maporder flags `for range` over a map in the repo's
+// deterministic packages.
+//
+// Go randomizes map iteration order, so any map range whose body
+// observes order — appending to output, accumulating floats, picking
+// "the first" anything — is a reproducibility bug of exactly the kind
+// PR 3 fixed by hand in flowsim. The analyzer allows two escapes:
+//
+//   - the collect-then-sort idiom: a loop whose body is a single append
+//     of the key (or value) into a slice that the same function later
+//     passes to sort.* or slices.Sort*, and
+//   - an explicit //flatvet:ordered <reason> waiver for bodies that are
+//     genuinely order-independent (integer counting, set insertion).
+//
+// Everything else must iterate sorted keys.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"flattree/internal/analysis"
+)
+
+// DeterministicPackages is the final-segment scope in which map
+// iteration order must not be observable. Shared with floatsum.
+var DeterministicPackages = []string{
+	"flowsim", "mcf", "routing", "control", "churn", "experiments", "graph", "topo",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "maporder",
+	Doc:       "flags range-over-map in deterministic packages unless keys are collected for sorting or the loop carries a //flatvet:ordered waiver",
+	Directive: "ordered",
+	Scope:     analysis.SegmentScope(DeterministicPackages...),
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return
+			}
+			if collectsForSort(pass, rs, stack) {
+				return
+			}
+			pass.Reportf(rs.For, "range over map %s has nondeterministic order; iterate sorted keys or add //flatvet:ordered <reason>", types.ExprString(rs.X))
+		})
+	}
+	return nil
+}
+
+// collectsForSort reports whether rs is the benign collect-then-sort
+// idiom: the body is exactly `s = append(s, ...)` and s is later handed
+// to a sort/slices call in the same function.
+func collectsForSort(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[dst]
+	if obj == nil {
+		return false
+	}
+	enclosing := analysis.EnclosingFunc(stack)
+	if enclosing == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(analysis.FuncBody(enclosing), func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, _, ok := analysis.PkgFuncCall(pass.TypesInfo, c)
+		if !ok || (pkgPath != "sort" && pkgPath != "slices") {
+			return true
+		}
+		for _, arg := range c.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"flattree/internal/analysis/anatest"
+	"flattree/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	anatest.Run(t, "testdata", maporder.Analyzer)
+}

@@ -1,0 +1,99 @@
+package flowsim
+
+import (
+	"slices"
+	"sort"
+)
+
+type Flow struct{ Rate float64 }
+
+// FlowMap exercises named map types: Underlying() must be consulted.
+type FlowMap map[int]*Flow
+
+// CollectRates observes map order directly: reported.
+func CollectRates(m map[int]*Flow) []float64 {
+	var out []float64
+	for _, f := range m { // want `range over map m has nondeterministic order`
+		out = append(out, f.Rate)
+	}
+	return out
+}
+
+// SortedKeys is the collect-then-sort idiom: allowed.
+func SortedKeys(m map[int]*Flow) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// SortedKeysSlices uses the slices package for the sort: allowed.
+func SortedKeysSlices(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// Count carries a valid waiver: allowed.
+func Count(m map[int]*Flow) int {
+	n := 0
+	//flatvet:ordered integer counting is order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+// WrongWaiver waives a different rule, so maporder still fires.
+func WrongWaiver(m map[int]*Flow) int {
+	n := 0
+	//flatvet:rand wrong rule name
+	for range m { // want `range over map m has nondeterministic order`
+		n++
+	}
+	return n
+}
+
+// CollectNoSort collects keys but never sorts them: reported.
+func CollectNoSort(m map[int]*Flow) []int {
+	var keys []int
+	for k := range m { // want `range over map m has nondeterministic order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// NamedMap ranges over a named map type: reported.
+func NamedMap(m FlowMap) []float64 {
+	var out []float64
+	for _, f := range m { // want `range over map m has nondeterministic order`
+		out = append(out, f.Rate)
+	}
+	return out
+}
+
+// SliceRange is not a map range: allowed.
+func SliceRange(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// SortOtherSlice sorts a different slice than the one collected into:
+// reported.
+func SortOtherSlice(m map[int]*Flow) []int {
+	var keys []int
+	other := []int{3, 1}
+	for k := range m { // want `range over map m has nondeterministic order`
+		keys = append(keys, k)
+	}
+	sort.Ints(other)
+	return keys
+}

@@ -1,0 +1,111 @@
+// Package seededrand enforces that simulation and experiment packages
+// draw randomness only from an injected, seeded *rand.Rand.
+//
+// Two shapes are reported:
+//
+//   - any use of math/rand's (or math/rand/v2's) package-level state —
+//     rand.Intn, rand.Float64, rand.Shuffle, rand.Seed, ... — because
+//     the global source is shared across goroutines and seeded outside
+//     the experiment's control, and
+//   - rand.New(rand.NewSource(...)) whose seed expression reads the
+//     wall clock (time.Now), which launders nondeterminism through an
+//     apparently-seeded source.
+//
+// Constructing sources is fine: rand.New, rand.NewSource, rand.NewZipf,
+// and the v2 constructors are allowed when the seed comes from config.
+// A //flatvet:rand <reason> waiver covers call sites that genuinely
+// want ambient randomness (none exist in the tree today).
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"flattree/internal/analysis"
+)
+
+// Packages is the final-segment scope in which randomness must be
+// injected: everything whose output feeds seeded experiments.
+var Packages = []string{
+	"flowsim", "packetsim", "mcf", "routing", "control", "churn",
+	"experiments", "graph", "topo", "traffic", "placement",
+}
+
+// constructors may be called on the package (they build an explicit
+// source rather than using the global one).
+var constructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "seededrand",
+	Doc:       "forbids global math/rand functions and wall-clock-seeded sources in simulation/experiment packages; inject a seeded *rand.Rand",
+	Directive: "rand",
+	Scope:     analysis.SegmentScope(Packages...),
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if pkg, ok := randPkgSel(pass, n); ok && !constructors[n.Sel.Name] {
+					// Referring to rand.Rand / rand.Source types is how
+					// injection is spelled; only functions and variables
+					// touch the global source.
+					if _, isType := pass.TypesInfo.Uses[n.Sel].(*types.TypeName); !isType {
+						pass.Reportf(n.Pos(), "global %s.%s in seeded package; inject a *rand.Rand (or //flatvet:rand <reason>)", pkg, n.Sel.Name)
+					}
+				}
+			case *ast.CallExpr:
+				checkWallClockSeed(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// randPkgSel reports whether sel selects a member of math/rand or
+// math/rand/v2 through the package name, returning the import path.
+func randPkgSel(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	path := pn.Imported().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return "", false
+	}
+	return path, true
+}
+
+// seedTaking are the constructors whose arguments are seed values; a
+// wall-clock read anywhere in those arguments defeats reproducibility.
+var seedTaking = map[string]bool{"NewSource": true, "NewPCG": true, "NewChaCha8": true}
+
+func checkWallClockSeed(pass *analysis.Pass, call *ast.CallExpr) {
+	pkg, name, ok := analysis.PkgFuncCall(pass.TypesInfo, call)
+	if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") || !seedTaking[name] {
+		return
+	}
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p, fn, ok := analysis.PkgFuncCall(pass.TypesInfo, c); ok && p == "time" && fn == "Now" {
+				pass.Reportf(call.Pos(), "wall-clock seed in %s.%s; derive the seed from experiment config so runs are reproducible", pkg, name)
+				return false
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"flattree/internal/analysis/anatest"
+	"flattree/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	anatest.Run(t, "testdata", seededrand.Analyzer)
+}

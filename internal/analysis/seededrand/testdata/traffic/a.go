@@ -1,0 +1,43 @@
+package traffic
+
+import (
+	"math/rand"
+	"time"
+)
+
+// GlobalDraw uses the shared global source: reported.
+func GlobalDraw() int {
+	return rand.Intn(10) // want `global math/rand.Intn in seeded package`
+}
+
+// GlobalShuffle likewise.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand.Shuffle in seeded package`
+}
+
+// FuncValue passes the global function as a value: still a use of the
+// global source, reported.
+func FuncValue() func() float64 {
+	return rand.Float64 // want `global math/rand.Float64 in seeded package`
+}
+
+// SeedFromConfig builds an explicit seeded source: allowed.
+func SeedFromConfig(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Injected draws from an injected source: allowed.
+func Injected(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// WallClockSeed launders time.Now through NewSource: reported.
+func WallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall-clock seed in math/rand.NewSource`
+}
+
+// Waived ambient randomness with a reason: allowed.
+func Waived() int {
+	//flatvet:rand jitter for a log line, not on any experiment path
+	return rand.Intn(3)
+}

@@ -1,0 +1,122 @@
+// Package simclock forbids wall-clock reads in packages that run on
+// simulated event time.
+//
+// flowsim, packetsim, and churn advance a virtual clock; a time.Now or
+// time.Since in their event paths silently couples simulation results
+// to host scheduling. Telemetry is the one legitimate consumer of wall
+// time in these packages, so a clock read is whitelisted when it
+// appears inside the arguments of a call into the telemetry package,
+// or when it is assigned to a variable whose every use feeds such a
+// call (the `start := time.Now(); defer func(){ span.ObserveSince(start) }()`
+// shape). Anything else needs a //flatvet:clock <reason> waiver.
+package simclock
+
+import (
+	"go/ast"
+	"go/token"
+
+	"flattree/internal/analysis"
+)
+
+// Packages is the final-segment scope running on simulated time.
+var Packages = []string{"flowsim", "packetsim", "churn"}
+
+// clockFuncs are the forbidden wall-clock reads.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "simclock",
+	Doc:       "forbids time.Now/Since/Until in simulated-time packages except when the value feeds telemetry",
+	Directive: "clock",
+	Scope:     analysis.SegmentScope(Packages...),
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// First collect the source ranges of calls into telemetry; a
+		// clock read inside any of them is instrumentation, not logic.
+		var telemetryRanges [][2]token.Pos
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if path, ok := analysis.SelPkgPath(pass.TypesInfo, sel); ok && analysis.LastSegment(path) == "telemetry" {
+					telemetryRanges = append(telemetryRanges, [2]token.Pos{call.Pos(), call.End()})
+				}
+			}
+			return true
+		})
+		inTelemetry := func(pos token.Pos) bool {
+			for _, r := range telemetryRanges {
+				if r[0] <= pos && pos < r[1] {
+					return true
+				}
+			}
+			return false
+		}
+
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			pkg, name, ok := analysis.PkgFuncCall(pass.TypesInfo, call)
+			if !ok || pkg != "time" || !clockFuncs[name] {
+				return
+			}
+			if inTelemetry(call.Pos()) {
+				return
+			}
+			if assignedOnlyToTelemetry(pass, call, stack, inTelemetry) {
+				return
+			}
+			pass.Reportf(call.Pos(), "wall-clock time.%s in simulated-time package; use the event clock, route it through telemetry, or add //flatvet:clock <reason>", name)
+		})
+	}
+	return nil
+}
+
+// assignedOnlyToTelemetry reports whether call is the RHS of a
+// single-variable definition whose every subsequent use sits inside a
+// telemetry call (directly, or as the argument of a time.Since that is
+// itself inside one).
+func assignedOnlyToTelemetry(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node, inTelemetry func(token.Pos) bool) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	asg, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.DEFINE || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Rhs[0] != ast.Expr(call) {
+		return false
+	}
+	id, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		return false
+	}
+	enclosing := analysis.EnclosingFunc(stack)
+	if enclosing == nil {
+		return false
+	}
+	used, allTelemetry := false, true
+	analysis.WalkStack(analysis.FuncBody(enclosing), func(n ast.Node, istack []ast.Node) {
+		use, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[use] != obj {
+			return
+		}
+		used = true
+		if inTelemetry(use.Pos()) {
+			return
+		}
+		// time.Since(v) / t.Sub(v) feeding telemetry one level up is
+		// already covered by inTelemetry on the use position; anything
+		// else is a simulation-logic use.
+		allTelemetry = false
+	})
+	return used && allTelemetry
+}

@@ -1,0 +1,12 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"flattree/internal/analysis/anatest"
+	"flattree/internal/analysis/simclock"
+)
+
+func TestSimClock(t *testing.T) {
+	anatest.Run(t, "testdata", simclock.Analyzer)
+}

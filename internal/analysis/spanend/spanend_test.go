@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"flattree/internal/analysis/anatest"
+	"flattree/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	anatest.Run(t, "testdata", spanend.Analyzer)
+}

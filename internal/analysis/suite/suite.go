@@ -1,0 +1,118 @@
+// Package suite assembles the flatvet analyzers into one run over a
+// package tree, the way golang.org/x/tools's multichecker assembles
+// go/analysis analyzers into a vet-style binary.
+//
+// Beyond fanning out the analyzers, the suite owns the two whole-tree
+// directive checks that no single analyzer can do: malformed
+// //flatvet: comments (reported instead of silently waiving nothing)
+// and well-formed waivers naming a rule no analyzer owns.
+package suite
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"flattree/internal/analysis"
+	"flattree/internal/analysis/directive"
+	"flattree/internal/analysis/floatsum"
+	"flattree/internal/analysis/load"
+	"flattree/internal/analysis/maporder"
+	"flattree/internal/analysis/seededrand"
+	"flattree/internal/analysis/simclock"
+	"flattree/internal/analysis/spanend"
+)
+
+// Analyzers returns the full flatvet suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		floatsum.Analyzer,
+		seededrand.Analyzer,
+		simclock.Analyzer,
+		spanend.Analyzer,
+	}
+}
+
+// Diag is one finding, attributed to the analyzer that produced it.
+// Directive-syntax findings carry Analyzer "flatvet".
+type Diag struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// Run loads patterns (default ./...) rooted at dir and applies every
+// analyzer, returning findings sorted by position. Type errors in the
+// tree are a hard error: analysis over a broken tree reports nonsense.
+func Run(dir string, patterns ...string) ([]Diag, error) {
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		if a.Directive != "" {
+			known[a.Directive] = true
+		}
+	}
+	var diags []Diag
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("%s does not type-check: %v", pkg.ImportPath, pkg.TypeErrors[0])
+		}
+		ix := directive.NewIndex(pkg.Fset, pkg.Files)
+		for _, m := range ix.Malformed() {
+			diags = append(diags, Diag{Position: pkg.Fset.Position(m.Pos), Analyzer: "flatvet", Message: m.Err})
+		}
+		for _, e := range ix.Entries() {
+			if !known[e.D.Name] {
+				diags = append(diags, Diag{
+					Position: pkg.Fset.Position(e.Pos),
+					Analyzer: "flatvet",
+					Message:  fmt.Sprintf("unknown waiver rule %q (known: ordered, rand, clock, span)", e.D.Name),
+				})
+			}
+		}
+		for _, a := range Analyzers() {
+			ds, err := analysis.Run(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range ds {
+				diags = append(diags, Diag{Position: pkg.Fset.Position(d.Pos), Analyzer: a.Name, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// Format writes diags one per line as "path:line:col: analyzer:
+// message", with paths relative to base when possible.
+func Format(w io.Writer, base string, diags []Diag) {
+	for _, d := range diags {
+		name := d.Position.Filename
+		if rel, err := filepath.Rel(base, name); err == nil && !filepath.IsAbs(rel) {
+			name = filepath.ToSlash(rel)
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
+	}
+}

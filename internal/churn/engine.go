@@ -2,6 +2,7 @@ package churn
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 
 	"flattree/internal/control"
@@ -184,9 +185,7 @@ func (e *Engine) Compile(trace Trace, conns []Conn) (*Plan, error) {
 // is allowed — disconnected flows are the engine's subject, not an error.
 func pruneWithMap(t *topo.Topology, failed map[[2]int]int) (*topo.Topology, []int) {
 	remaining := make(map[[2]int]int, len(failed))
-	for k, n := range failed {
-		remaining[k] = n
-	}
+	maps.Copy(remaining, failed)
 	out := topo.NewTopology(t.Name + "-churn")
 	out.SetNumPods(t.NumPods())
 	for _, n := range t.Nodes {
@@ -247,20 +246,24 @@ func directedServerPaths(table *routing.Table, g *graph.Graph, linkMap []int, sr
 func ruleTime(old, new map[int]int, d control.DelayModel) float64 {
 	var del, add int
 	if d.Parallel {
+		//flatvet:ordered integer max over values is order-independent
 		for _, n := range old {
 			if n > del {
 				del = n
 			}
 		}
+		//flatvet:ordered integer max over values is order-independent
 		for _, n := range new {
 			if n > add {
 				add = n
 			}
 		}
 	} else {
+		//flatvet:ordered integer sum is order-independent
 		for _, n := range old {
 			del += n
 		}
+		//flatvet:ordered integer sum is order-independent
 		for _, n := range new {
 			add += n
 		}

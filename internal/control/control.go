@@ -8,6 +8,7 @@ package control
 
 import (
 	"fmt"
+	"maps"
 	"time"
 
 	"flattree/internal/core"
@@ -221,9 +222,7 @@ func (c *Controller) Table() *routing.Table { return c.table }
 // RulesPerSwitch returns the installed per-switch rule counts.
 func (c *Controller) RulesPerSwitch() map[int]int {
 	out := make(map[int]int, len(c.rules))
-	for k, v := range c.rules {
-		out[k] = v
-	}
+	maps.Copy(out, c.rules)
 	return out
 }
 
@@ -231,6 +230,7 @@ func (c *Controller) RulesPerSwitch() map[int]int {
 // figure of merit (242/180/76 on the testbed).
 func (c *Controller) MaxRulesPerSwitch() int {
 	max := 0
+	//flatvet:ordered integer max over values is order-independent
 	for _, v := range c.rules {
 		if v > max {
 			max = v
@@ -288,20 +288,24 @@ func (c *Controller) ConvertPods(modes []core.Mode) (*ConversionReport, error) {
 	// added (the testbed deletes and reinstalls; unchanged rules between
 	// modes are rare because paths shift with the topology).
 	if c.delay.Parallel {
+		//flatvet:ordered integer max over values is order-independent
 		for _, n := range oldRules {
 			if n > rep.RulesDeleted {
 				rep.RulesDeleted = n
 			}
 		}
+		//flatvet:ordered integer max over values is order-independent
 		for _, n := range c.rules {
 			if n > rep.RulesAdded {
 				rep.RulesAdded = n
 			}
 		}
 	} else {
+		//flatvet:ordered integer sum is order-independent
 		for _, n := range oldRules {
 			rep.RulesDeleted += n
 		}
+		//flatvet:ordered integer sum is order-independent
 		for _, n := range c.rules {
 			rep.RulesAdded += n
 		}

@@ -2,6 +2,7 @@ package control
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 
 	"flattree/internal/core"
@@ -106,9 +107,7 @@ func pruneFailures(t *topo.Topology, failed map[[2]int]int) (*topo.Topology, err
 		return t, nil
 	}
 	remaining := make(map[[2]int]int, len(failed))
-	for k, n := range failed {
-		remaining[k] = n
-	}
+	maps.Copy(remaining, failed)
 	out := topo.NewTopology(t.Name + "-degraded")
 	out.SetNumPods(t.NumPods())
 	for _, n := range t.Nodes {

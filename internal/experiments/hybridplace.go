@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"flattree/internal/core"
 	"flattree/internal/flowsim"
@@ -155,6 +156,7 @@ func (c Config) hybridMeasure(p topo.ClosParams, label string, modes []core.Mode
 		count[owner[i]]++
 		row.Aggregate += rate
 	}
+	//flatvet:ordered in-place per-key normalization; keys do not interact
 	for name, sum := range row.PerTenant {
 		row.PerTenant[name] = sum / float64(count[name])
 	}
@@ -171,13 +173,7 @@ func RenderHybridPlacement(rows []HybridPlaceRow) string {
 		names = append(names, n)
 	}
 	// Stable order: by name.
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
+	sort.Strings(names)
 	header := []string{"configuration"}
 	for _, n := range names {
 		header = append(header, n+" avg (Gbps)")

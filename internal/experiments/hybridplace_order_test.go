@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRenderHybridPlacementDeterministic pins the flatvet maporder fix
+// in RenderHybridPlacement: tenant columns come from ranging over a
+// map, so without the sort the column order (and therefore the rendered
+// table) varied run to run. Rebuilding the rows repeatedly exercises
+// many map iteration orders within one process.
+func TestRenderHybridPlacementDeterministic(t *testing.T) {
+	build := func() []HybridPlaceRow {
+		per := map[string]float64{}
+		// Enough keys that Go's randomized iteration order would be
+		// overwhelmingly likely to differ between builds.
+		for i := 0; i < 12; i++ {
+			per[fmt.Sprintf("tenant-%02d", i)] = float64(i) * 1.25
+		}
+		return []HybridPlaceRow{{Config: "hybrid", PerTenant: per, Aggregate: 99}}
+	}
+	want := RenderHybridPlacement(build())
+	for i := 0; i < 50; i++ {
+		if got := RenderHybridPlacement(build()); got != want {
+			t.Fatalf("render differs between identical builds (iteration %d):\n%s\nvs\n%s", i, got, want)
+		}
+	}
+	// Columns must be in sorted tenant order.
+	header := strings.SplitN(want, "\n", 2)[0]
+	if !strings.Contains(header, "tenant-00") {
+		t.Fatalf("unexpected header: %q", header)
+	}
+	last := -1
+	for i := 0; i < 12; i++ {
+		idx := strings.Index(header, fmt.Sprintf("tenant-%02d", i))
+		if idx < 0 || idx < last {
+			t.Fatalf("tenant columns not in sorted order: %q", header)
+		}
+		last = idx
+	}
+}

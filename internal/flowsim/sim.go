@@ -217,6 +217,7 @@ func (s *Sim) Run() ([]ConnResult, error) {
 		for nextEvent < len(s.events) && s.events[nextEvent].Time <= t+1e-12 {
 			ev := s.events[nextEvent]
 			nextEvent++
+			//flatvet:ordered writes to distinct link slots; order-independent
 			for id, cp := range ev.SetCaps {
 				if id < 0 || id >= len(caps) {
 					return nil, fmt.Errorf("flowsim: event at t=%v sets capacity of link %d of %d", ev.Time, id, len(caps))

@@ -168,6 +168,7 @@ func FlowHash(src, dst, salt int) uint64 {
 // over all ingress pairs in the table.
 func (tb *Table) AveragePathLength() float64 {
 	var total, count int
+	//flatvet:ordered integer sum is order-independent
 	for _, paths := range tb.Paths {
 		if len(paths) > 0 {
 			total += paths[0].Len()
@@ -206,6 +207,7 @@ type StateCount struct {
 // testbed's OpenFlow 1.0 prefix-matching implementation uses (§5.3).
 func (tb *Table) PrefixRulesPerSwitch() map[int]int {
 	perSwitch := make(map[int]int)
+	//flatvet:ordered integer increments into distinct keys; order-independent
 	for _, paths := range tb.Paths {
 		for _, p := range paths {
 			for _, n := range p.Nodes {
@@ -219,6 +221,7 @@ func (tb *Table) PrefixRulesPerSwitch() map[int]int {
 // TotalPrefixRules sums PrefixRulesPerSwitch over all switches.
 func (tb *Table) TotalPrefixRules() int {
 	total := 0
+	//flatvet:ordered integer sum is order-independent
 	for _, c := range tb.PrefixRulesPerSwitch() {
 		total += c
 	}
@@ -236,6 +239,7 @@ func (tb *Table) CountStates(portCount int) StateCount {
 	perSwitch := tb.PrefixRulesPerSwitch()
 	var totalHops int
 	var totalPaths int
+	//flatvet:ordered integer sum is order-independent
 	for _, paths := range tb.Paths {
 		for _, p := range paths {
 			totalHops += len(p.Nodes)
@@ -243,6 +247,7 @@ func (tb *Table) CountStates(portCount int) StateCount {
 		}
 	}
 	maxRules := 0
+	//flatvet:ordered integer max over values is order-independent
 	for _, c := range perSwitch {
 		if c > maxRules {
 			maxRules = c
@@ -299,6 +304,7 @@ func (tb *Table) WithK(k int) *Table {
 		return tb
 	}
 	paths := make(map[graph.PairKey][]graph.Path, len(tb.Paths))
+	//flatvet:ordered per-key rebuild into a fresh map; keys do not interact
 	for pk, ps := range tb.Paths {
 		if len(ps) > k {
 			ps = ps[:k]

@@ -87,6 +87,7 @@ func BuildTwoLevel(t *topo.Topology) (*TwoLevel, error) {
 			l := t.G.Link(id)
 			other := l.Other(c)
 			if t.Nodes[other].Kind == topo.Agg {
+				//flatvet:ordered set-if-absent per edge; the winning link is fixed by the deterministic Incident order, not by this map's order
 				for e := range tl.downPort[other] {
 					if _, have := tl.ensureDown(c)[e]; !have {
 						tl.ensureDown(c)[e] = id

@@ -1,0 +1,32 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBuildTwoLevelDeterministic pins the claim in the
+// //flatvet:ordered waiver inside BuildTwoLevel: the set-if-absent loop
+// over downPort ranges a map, but the winning link for every edge is
+// fixed by the deterministic Incident order, so repeated builds on the
+// same realization must produce byte-identical tables under any map
+// iteration order.
+func TestBuildTwoLevelDeterministic(t *testing.T) {
+	r := closRealization(t)
+	first, err := BuildTwoLevel(r.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tl, err := BuildTwoLevel(r.Topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(tl.downPort, first.downPort) {
+			t.Fatalf("build %d: downPort differs between identical builds", i)
+		}
+		if !reflect.DeepEqual(tl.upLinks, first.upLinks) {
+			t.Fatalf("build %d: upLinks differs between identical builds", i)
+		}
+	}
+}
