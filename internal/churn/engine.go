@@ -96,10 +96,12 @@ func (e *Engine) Compile(trace Trace, conns []Conn) (*Plan, error) {
 	}
 
 	table := routing.BuildKShortestCached(t, k)
+	inc := routing.NewIncremental(table)
+	view := inc.View()
 	specs := make([]flowsim.ConnSpec, len(conns))
 	installed := make([][][]int, len(conns))
 	for i, c := range conns {
-		dp := directedServerPaths(table, t.G, nil, c.Src, c.Dst, k)
+		dp := directedServerPaths(view, t.G, nil, c.Src, c.Dst, k)
 		if len(dp) == 0 {
 			return nil, fmt.Errorf("churn: no path between servers %d and %d on the healthy topology", c.Src, c.Dst)
 		}
@@ -109,7 +111,6 @@ func (e *Engine) Compile(trace Trace, conns []Conn) (*Plan, error) {
 
 	failed := make(map[[2]int]int)
 	deadSlots := make(map[int]bool)
-	prevRules := table.PrefixRulesPerSwitch()
 	var events []flowsim.TopoEvent
 	reactions := make([]float64, 0, len(trace))
 	for _, ev := range trace {
@@ -146,13 +147,17 @@ func (e *Engine) Compile(trace Trace, conns []Conn) (*Plan, error) {
 			SetCaps: map[int]float64{2 * link: cap, 2*link + 1: cap},
 		})
 
-		// Control-plane reaction: routes on the surviving fabric, priced
-		// by the rule diff against the previously installed table.
-		pruned, linkMap := pruneWithMap(t, failed)
-		newTable := routing.BuildKShortestCached(pruned, k)
-		newRules := newTable.PrefixRulesPerSwitch()
-		delay := e.Detection + ruleTime(prevRules, newRules, e.Delay)
-		prevRules = newRules
+		// Control-plane reaction: the incremental layer repairs only the
+		// pairs the event touches and reports the exact per-switch rule
+		// delta, which prices the reaction — §4.3's "only the changed
+		// rules are touched".
+		var delta routing.RuleDelta
+		if ev.Repair {
+			delta = inc.Repair(link)
+		} else {
+			delta = inc.Fail(link)
+		}
+		delay := e.Detection + ruleTime(delta, e.Delay)
 		reactions = append(reactions, delay)
 
 		reroute := make(map[int][][]int)
@@ -161,7 +166,7 @@ func (e *Engine) Compile(trace Trace, conns []Conn) (*Plan, error) {
 			if len(cur) > 0 && !crossesDead(cur, deadSlots) {
 				continue // stale but intact: flows keep working paths
 			}
-			np := directedServerPaths(newTable, pruned.G, linkMap, c.Src, c.Dst, k)
+			np := directedServerPaths(view, t.G, nil, c.Src, c.Dst, k)
 			if pathsEqual(cur, np) {
 				continue
 			}
@@ -240,35 +245,16 @@ func directedServerPaths(table *routing.Table, g *graph.Graph, linkMap []int, sr
 	return out
 }
 
-// ruleTime prices a table swap with the delay model's per-rule constants,
-// following control.ConvertPods: the old rules are deleted and the new
-// ones installed; parallel configuration is bounded by the busiest switch.
-func ruleTime(old, new map[int]int, d control.DelayModel) float64 {
-	var del, add int
+// ruleTime prices one event's rule delta with the delay model's per-rule
+// constants, following control.ConvertPods semantics: only the rules the
+// event deletes and adds are charged; parallel configuration is bounded
+// by the busiest switch, sequential by the totals. An event that changes
+// no rules costs nothing beyond detection.
+func ruleTime(delta routing.RuleDelta, d control.DelayModel) float64 {
 	if d.Parallel {
-		//flatvet:ordered integer max over values is order-independent
-		for _, n := range old {
-			if n > del {
-				del = n
-			}
-		}
-		//flatvet:ordered integer max over values is order-independent
-		for _, n := range new {
-			if n > add {
-				add = n
-			}
-		}
-	} else {
-		//flatvet:ordered integer sum is order-independent
-		for _, n := range old {
-			del += n
-		}
-		//flatvet:ordered integer sum is order-independent
-		for _, n := range new {
-			add += n
-		}
+		return float64(delta.MaxDels())*d.PerRuleDelete + float64(delta.MaxAdds())*d.PerRuleAdd
 	}
-	return float64(del)*d.PerRuleDelete + float64(add)*d.PerRuleAdd
+	return float64(delta.TotalDels())*d.PerRuleDelete + float64(delta.TotalAdds())*d.PerRuleAdd
 }
 
 // crossesDead reports whether any path uses a masked directed slot.

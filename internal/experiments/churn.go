@@ -42,6 +42,10 @@ type ChurnRow struct {
 	MeanStall float64
 	// Unfinished counts flows still incomplete at the horizon.
 	Unfinished int
+	// MeanReaction is the mean control-plane reaction delay over trace
+	// events, in seconds: detection plus the rule-diff update time of the
+	// pairs the event actually touched (§4.3).
+	MeanReaction float64
 }
 
 // Churn runs the failure-over-time study on the reduced topo-1 for Clos
@@ -121,6 +125,7 @@ func (c Config) Churn() ([]ChurnRow, error) {
 		if len(stalls) > 0 {
 			row.MeanStall = metrics.Mean(stalls)
 		}
+		row.MeanReaction = metrics.Mean(plan.Reactions)
 		rows[mi] = row
 		return nil
 	})
@@ -134,12 +139,12 @@ func (c Config) Churn() ([]ChurnRow, error) {
 func RenderChurn(rows []ChurnRow) string {
 	t := &metrics.Table{Header: []string{
 		"mode", "mean FCT (s)", "mean FCT churn", "p99 FCT", "p99 FCT churn",
-		"reroutes", "stalled", "mean stall (s)", "unfinished",
+		"reroutes", "stalled", "mean stall (s)", "unfinished", "mean reaction (s)",
 	}}
 	for _, r := range rows {
 		t.Add(r.Mode.String(), r.BaselineMeanFCT, r.ChurnMeanFCT,
 			r.BaselineP99FCT, r.ChurnP99FCT,
-			r.Reroutes, r.Stalled, r.MeanStall, r.Unfinished)
+			r.Reroutes, r.Stalled, r.MeanStall, r.Unfinished, r.MeanReaction)
 	}
 	return t.String()
 }

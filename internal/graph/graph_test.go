@@ -342,3 +342,105 @@ func TestKShortestProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestKShortestPathsBannedAvoidsBans checks the incremental-repair entry
+// point: banned links never appear in any returned path, a nil ban set
+// reproduces KShortestPaths exactly, and banning a cut disconnects.
+func TestKShortestPathsBannedAvoidsBans(t *testing.T) {
+	g := grid(3, 4)
+	src, dst := 0, 11
+	plain := g.KShortestPaths(src, dst, 4)
+	nilBanned := g.KShortestPathsBanned(src, dst, 4, nil)
+	if len(plain) != len(nilBanned) {
+		t.Fatalf("nil ban set: %d paths, want %d", len(nilBanned), len(plain))
+	}
+	for i := range plain {
+		if !equalNodes(plain[i].Nodes, nilBanned[i].Nodes) {
+			t.Fatalf("nil ban set path %d = %v, want %v", i, nilBanned[i].Nodes, plain[i].Nodes)
+		}
+	}
+
+	banned := map[int]bool{plain[0].Links[0]: true, plain[0].Links[1]: true}
+	for _, p := range g.KShortestPathsBanned(src, dst, 4, banned) {
+		if !p.Valid(g) || !p.Loopless() {
+			t.Fatalf("invalid banned-Yen path %v", p)
+		}
+		for _, id := range p.Links {
+			if banned[id] {
+				t.Fatalf("path %v uses banned link %d", p.Nodes, id)
+			}
+		}
+	}
+
+	// Banning every link incident to src disconnects it.
+	cut := map[int]bool{}
+	for _, id := range g.Incident(src) {
+		cut[id] = true
+	}
+	if got := g.KShortestPathsBanned(src, dst, 4, cut); got != nil {
+		t.Fatalf("cut source still yields paths: %v", got)
+	}
+}
+
+// TestKShortestPathsBannedMatchesRebuild pins the equivalence the
+// incremental route table relies on: Yen with a banned-link set equals
+// Yen on a graph rebuilt without those links (same node sequences, same
+// order), across random graphs, ban sets, and parallel links.
+func TestKShortestPathsBannedMatchesRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(10)
+		g := New(n)
+		for i := 1; i < n; i++ {
+			g.AddLink(i, rng.Intn(i), 1)
+		}
+		extra := rng.Intn(3 * n)
+		for e := 0; e < extra; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g.AddLink(a, b, 1) // may create parallel links
+			}
+		}
+		banned := map[int]bool{}
+		for _, id := range rng.Perm(g.NumLinks())[:rng.Intn(g.NumLinks())] {
+			if rng.Intn(2) == 0 {
+				banned[id] = true
+			}
+		}
+		// Rebuild without the banned links, preserving relative link order,
+		// and remember each rebuilt link's original ID.
+		rb := New(n)
+		var origID []int
+		for _, l := range g.Links() {
+			if banned[l.ID] {
+				continue
+			}
+			rb.AddLink(l.A, l.B, l.Capacity)
+			origID = append(origID, l.ID)
+		}
+		src, dst := rng.Intn(n), rng.Intn(n)
+		if src == dst {
+			dst = (dst + 1) % n
+		}
+		k := 1 + rng.Intn(6)
+		got := g.KShortestPathsBanned(src, dst, k, banned)
+		want := rb.KShortestPaths(src, dst, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if !equalNodes(got[i].Nodes, want[i].Nodes) {
+				return false
+			}
+			for j, id := range want[i].Links {
+				if got[i].Links[j] != origID[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"container/heap"
+	"maps"
 
 	"flattree/internal/parallel"
 	"flattree/internal/telemetry"
@@ -12,10 +13,20 @@ import (
 // k-shortest-path routing. Paths are ordered by increasing hop count; ties
 // are broken by deterministic BFS order so results are reproducible.
 func (g *Graph) KShortestPaths(src, dst, k int) []Path {
+	return g.KShortestPathsBanned(src, dst, k, nil)
+}
+
+// KShortestPathsBanned is KShortestPaths on the subgraph that excludes the
+// banned links — the entry point incremental route repair uses to re-route
+// around masked (failed) links without rebuilding a pruned graph. The
+// banned set is read-only; nil means no links are banned. Determinism
+// matches KShortestPaths: for any banned set, the same graph yields the
+// same paths in the same order.
+func (g *Graph) KShortestPathsBanned(src, dst, k int, banned map[int]bool) []Path {
 	if k <= 0 {
 		return nil
 	}
-	first, ok := g.ShortestPath(src, dst)
+	first, ok := g.shortestPathFiltered(src, dst, banned, nil)
 	if !ok {
 		return nil
 	}
@@ -33,7 +44,8 @@ func (g *Graph) KShortestPaths(src, dst, k int) []Path {
 			spurNode := prev.Nodes[i]
 			rootNodes := prev.Nodes[:i+1]
 
-			bannedLinks := make(map[int]bool)
+			bannedLinks := make(map[int]bool, len(banned)+2)
+			maps.Copy(bannedLinks, banned)
 			for _, p := range paths {
 				if len(p.Nodes) > i && equalNodes(p.Nodes[:i+1], rootNodes) && len(p.Links) > i {
 					bannedLinks[p.Links[i]] = true

@@ -25,6 +25,7 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*list.Element
 	lru     list.List // front = most recently used; values are *cacheEntry
+	onEvict func(key string)
 }
 
 type cacheEntry struct {
@@ -39,6 +40,17 @@ type cacheEntry struct {
 // counters.
 func NewCache(name string, maxEntries int) *Cache {
 	return &Cache{name: name, max: maxEntries, entries: map[string]*list.Element{}}
+}
+
+// OnEvict registers fn to be called with each key the cache evicts for
+// capacity, after the cache lock is released — callers keeping derived
+// records keyed by cache entries (e.g. the route table's max-k index)
+// use it to drop records that would otherwise dangle. Purge does not
+// invoke the hook: purging callers reset their records themselves.
+func (c *Cache) OnEvict(fn func(key string)) {
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
 }
 
 // Do returns the value for key, computing it with fn on a miss. Errors are
@@ -58,9 +70,15 @@ func (c *Cache) Do(key string, fn func() (interface{}, error)) (interface{}, err
 	}
 	e := &cacheEntry{key: key, ready: make(chan struct{})}
 	c.entries[key] = c.lru.PushFront(e)
-	c.evictLocked()
+	evicted := c.evictLocked()
+	hook := c.onEvict
 	c.mu.Unlock()
 	telemetry.C("parallel_cache_misses_total", "cache", c.name).Inc()
+	if hook != nil {
+		for _, k := range evicted {
+			hook(k)
+		}
+	}
 
 	e.val, e.err = fn()
 	close(e.ready)
@@ -115,23 +133,27 @@ func (c *Cache) Purge() {
 	c.lru.Init()
 }
 
-// evictLocked drops least-recently-used entries beyond the capacity.
-// Evicting an in-flight entry is safe: its waiters hold the entry pointer
-// and still receive the computed value; the cache just forgets it.
-func (c *Cache) evictLocked() {
+// evictLocked drops least-recently-used entries beyond the capacity and
+// returns their keys for the eviction hook. Evicting an in-flight entry
+// is safe: its waiters hold the entry pointer and still receive the
+// computed value; the cache just forgets it.
+func (c *Cache) evictLocked() []string {
 	if c.max <= 0 {
-		return
+		return nil
 	}
+	var evicted []string
 	for len(c.entries) > c.max {
 		el := c.lru.Back()
 		if el == nil {
-			return
+			break
 		}
 		e := el.Value.(*cacheEntry)
 		c.lru.Remove(el)
 		delete(c.entries, e.key)
+		evicted = append(evicted, e.key)
 		telemetry.C("parallel_cache_evictions_total", "cache", c.name).Inc()
 	}
+	return evicted
 }
 
 // Get is the typed wrapper around Cache.Do: identical keys return the

@@ -143,3 +143,46 @@ func TestCacheUnboundedWhenMaxNonPositive(t *testing.T) {
 		t.Fatalf("unbounded cache holds %d entries, want 100", c.Len())
 	}
 }
+
+// TestCacheEvictionHook verifies OnEvict fires with exactly the keys
+// dropped for capacity, in LRU order, and not on Purge.
+func TestCacheEvictionHook(t *testing.T) {
+	c := NewCache("test", 2)
+	var evicted []string
+	c.OnEvict(func(key string) { evicted = append(evicted, key) })
+	build := func() (*blob, error) { return &blob{}, nil }
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if _, err := Get(c, k, build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := []string{"a", "b"}; !slicesEqual(evicted, want) {
+		t.Fatalf("evicted keys %v, want %v", evicted, want)
+	}
+	// Re-using a key keeps it hot: "c" is refreshed, so "d" goes next.
+	if _, err := Get(c, "c", build); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get(c, "e", build); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "b", "d"}; !slicesEqual(evicted, want) {
+		t.Fatalf("evicted keys %v, want %v", evicted, want)
+	}
+	c.Purge()
+	if want := []string{"a", "b", "d"}; !slicesEqual(evicted, want) {
+		t.Fatalf("Purge invoked the eviction hook: %v", evicted)
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,55 @@
+package routing
+
+import (
+	"testing"
+
+	"flattree/internal/core"
+	"flattree/internal/topo"
+)
+
+// Benchmarks for per-event route repair: the incremental table against
+// the whole-table rebuild the churn engine used before. Both process one
+// failure plus one repair of the same link per iteration on the churn
+// experiment topology (mini-1, k=8), so ns/op is directly comparable —
+// the BENCH_pr5.json CI artifact records the pair.
+
+func benchChurnTopo(b *testing.B) *topo.Topology {
+	b.Helper()
+	p := topo.ClosParams{
+		Name: "mini-1", Pods: 4, EdgesPerPod: 4, AggsPerPod: 4,
+		ServersPerEdge: 8, EdgeUplinks: 4, AggUplinks: 4, Cores: 16,
+	}
+	nw, err := core.New(p, core.Options{N: 1, M: 1, Pattern: core.Pattern1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw.SetMode(core.ModeClos)
+	return nw.Realize().Topo
+}
+
+func BenchmarkRepairIncremental(b *testing.B) {
+	tp := benchChurnTopo(b)
+	base := BuildKShortest(tp, 8)
+	links := switchLinks(tp)
+	it := NewIncremental(base)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := links[i%len(links)]
+		it.Fail(l)
+		it.Repair(l)
+	}
+}
+
+func BenchmarkRepairFullRebuild(b *testing.B) {
+	tp := benchChurnTopo(b)
+	links := switchLinks(tp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := links[i%len(links)]
+		pruned, _ := pruneBanned(tp, map[int]bool{l: true})
+		BuildKShortest(pruned, 8) // react to the failure
+		BuildKShortest(tp, 8)     // react to the repair
+	}
+}

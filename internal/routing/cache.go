@@ -2,6 +2,8 @@ package routing
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"flattree/internal/parallel"
@@ -21,12 +23,42 @@ var (
 	tableCache = parallel.NewCache("route", 64)
 
 	// tableMaxKMu guards tableMaxK: fingerprint -> largest k built so far,
-	// used to find a superset table to derive smaller-k views from.
+	// used to find a superset table to derive smaller-k views from. The
+	// eviction hook below keeps each record tied to a live cache entry, so
+	// the index cannot grow past the cache capacity or point at an evicted
+	// table.
 	tableMaxKMu sync.Mutex
 	tableMaxK   = map[string]int{}
 )
 
+func init() {
+	tableCache.OnEvict(func(key string) {
+		fp, k, ok := parseTableKey(key)
+		if !ok {
+			return
+		}
+		tableMaxKMu.Lock()
+		if tableMaxK[fp] == k {
+			delete(tableMaxK, fp)
+		}
+		tableMaxKMu.Unlock()
+	})
+}
+
 func tableKey(fp string, k int) string { return fmt.Sprintf("%s|k=%d", fp, k) }
+
+// parseTableKey inverts tableKey.
+func parseTableKey(key string) (fp string, k int, ok bool) {
+	i := strings.LastIndex(key, "|k=")
+	if i < 0 {
+		return "", 0, false
+	}
+	k, err := strconv.Atoi(key[i+len("|k="):])
+	if err != nil {
+		return "", 0, false
+	}
+	return key[:i], k, true
+}
 
 // BuildKShortestCached returns a route table for the realized topology,
 // reusing a previously built table for any structurally identical
@@ -47,6 +79,14 @@ func BuildKShortestCached(t *topo.Topology, k int) *Table {
 			if v, ok := tableCache.Peek(tableKey(fp, maxK)); ok {
 				return v.(*Table).WithK(k), nil
 			}
+			// The superset table is gone (evicted between the hook firing
+			// and this Peek, or recorded before the hook existed): drop the
+			// stale record so later requests stop peeking a dead entry.
+			tableMaxKMu.Lock()
+			if tableMaxK[fp] == maxK {
+				delete(tableMaxK, fp)
+			}
+			tableMaxKMu.Unlock()
 		}
 		tb := BuildKShortest(t, k)
 		tableMaxKMu.Lock()

@@ -1,10 +1,12 @@
 package routing
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
 	"flattree/internal/core"
+	"flattree/internal/parallel"
 	"flattree/internal/topo"
 )
 
@@ -77,5 +79,67 @@ func TestBuildKShortestCachedDerivesSmallerK(t *testing.T) {
 	}
 	if big.K != 8 {
 		t.Fatal("superset table was modified")
+	}
+}
+
+// TestCachedTableEvictionPurgesMaxK pins the eviction bug: once the
+// max-k table is evicted by LRU pressure, its tableMaxK record must go
+// with it — otherwise every smaller-k request peeks a dead entry forever
+// and the index grows without bound across fingerprints.
+func TestCachedTableEvictionPurgesMaxK(t *testing.T) {
+	PurgeCache()
+	defer PurgeCache()
+	tp := cacheTestTopo(t)
+	BuildKShortestCached(tp, 6)
+	fp := tp.Fingerprint()
+	// Flood the cache far past capacity so the route table is evicted.
+	for i := 0; i < 100; i++ {
+		if _, err := parallel.Get(tableCache, fmt.Sprintf("flood|%d", i), func() (*Table, error) {
+			return &Table{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tableMaxKMu.Lock()
+	_, stale := tableMaxK[fp]
+	tableMaxKMu.Unlock()
+	if stale {
+		t.Fatal("tableMaxK record survived eviction of its table")
+	}
+	// A smaller-k request now rebuilds cleanly and re-records its k.
+	got := BuildKShortestCached(tp, 3)
+	want := BuildKShortest(tp, 3)
+	if len(got.Paths) != len(want.Paths) || got.K != 3 {
+		t.Fatalf("rebuilt table K=%d with %d pairs, want K=3 with %d", got.K, len(got.Paths), len(want.Paths))
+	}
+	tableMaxKMu.Lock()
+	rec := tableMaxK[fp]
+	tableMaxKMu.Unlock()
+	if rec != 3 {
+		t.Fatalf("tableMaxK[fp] = %d after rebuild, want 3", rec)
+	}
+}
+
+// TestCachedTableStaleMaxKRepaired pins the Peek-miss repair: a record
+// pointing at a key the cache no longer holds is dropped on first use
+// instead of being consulted forever.
+func TestCachedTableStaleMaxKRepaired(t *testing.T) {
+	PurgeCache()
+	defer PurgeCache()
+	tp := cacheTestTopo(t)
+	fp := tp.Fingerprint()
+	tableMaxKMu.Lock()
+	tableMaxK[fp] = 99 // simulate a record orphaned by eviction
+	tableMaxKMu.Unlock()
+	got := BuildKShortestCached(tp, 3)
+	want := BuildKShortest(tp, 3)
+	if got.K != 3 || len(got.Paths) != len(want.Paths) {
+		t.Fatalf("table built under stale record: K=%d, %d pairs", got.K, len(got.Paths))
+	}
+	tableMaxKMu.Lock()
+	rec := tableMaxK[fp]
+	tableMaxKMu.Unlock()
+	if rec != 3 {
+		t.Fatalf("stale tableMaxK record = %d, want repaired to 3", rec)
 	}
 }

@@ -1,0 +1,273 @@
+package routing
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"flattree/internal/parallel"
+	"flattree/internal/topo"
+)
+
+// pruneBanned rebuilds the topology without the banned links (preserving
+// node IDs and relative link order, servers re-attached last) and returns
+// the pruned-link-ID -> original-link-ID map — the from-scratch reference
+// the incremental table must match after every event.
+func pruneBanned(t *topo.Topology, banned map[int]bool) (*topo.Topology, []int) {
+	out := topo.NewTopology(t.Name + "-pruned")
+	out.SetNumPods(t.NumPods())
+	for _, n := range t.Nodes {
+		id := out.AddNode(n.Kind, n.Pod)
+		out.Nodes[id].LocalIndex = n.LocalIndex
+	}
+	var linkMap []int
+	for id, l := range t.G.Links() {
+		if t.Nodes[l.A].Kind == topo.Server || t.Nodes[l.B].Kind == topo.Server {
+			continue
+		}
+		if banned[id] {
+			continue
+		}
+		out.AddLink(l.A, l.B)
+		linkMap = append(linkMap, id)
+	}
+	for _, s := range t.Servers() {
+		out.AttachServer(s, t.AttachedSwitch(s))
+		linkMap = append(linkMap, t.G.Incident(s)[0])
+	}
+	return out, linkMap
+}
+
+// requireTableEqualsRebuild asserts the incremental view is identical —
+// same pairs, same paths, same order — to BuildKShortest on the pruned
+// topology, with pruned link IDs translated back through linkMap.
+func requireTableEqualsRebuild(t *testing.T, step int, it *IncrementalTable, tp *topo.Topology, banned map[int]bool) {
+	t.Helper()
+	pruned, linkMap := pruneBanned(tp, banned)
+	ref := BuildKShortest(pruned, it.base.K)
+	view := it.View()
+	if len(ref.Paths) != len(view.Paths) {
+		t.Fatalf("step %d: %d pairs incrementally, %d from scratch", step, len(view.Paths), len(ref.Paths))
+	}
+	for pk, refPaths := range ref.Paths {
+		got := view.Paths[pk]
+		if len(got) != len(refPaths) {
+			t.Fatalf("step %d pair %v: %d paths incrementally, %d from scratch", step, pk, len(got), len(refPaths))
+		}
+		for i := range refPaths {
+			if !reflect.DeepEqual(got[i].Nodes, refPaths[i].Nodes) {
+				t.Fatalf("step %d pair %v path %d nodes = %v, from scratch %v", step, pk, i, got[i].Nodes, refPaths[i].Nodes)
+			}
+			for j, id := range refPaths[i].Links {
+				if got[i].Links[j] != linkMap[id] {
+					t.Fatalf("step %d pair %v path %d link %d = %d, from scratch %d", step, pk, i, j, got[i].Links[j], linkMap[id])
+				}
+			}
+		}
+	}
+	if want, got := ref.PrefixRulesPerSwitch(), it.RulesPerSwitch(); !reflect.DeepEqual(want, got) {
+		t.Fatalf("step %d: incremental rule counts %v, from scratch %v", step, got, want)
+	}
+}
+
+// switchLinks returns the IDs of switch-switch links (server uplinks
+// never fail).
+func switchLinks(tp *topo.Topology) []int {
+	var out []int
+	for id, l := range tp.G.Links() {
+		if tp.Nodes[l.A].Kind == topo.Server || tp.Nodes[l.B].Kind == topo.Server {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// driveTrace applies a seeded random fail/repair sequence of n events and
+// checks the differential property after every one. Partitions are
+// allowed and exercised.
+func driveTrace(t *testing.T, tp *topo.Topology, k, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	it := NewIncremental(BuildKShortest(tp, k))
+	links := switchLinks(tp)
+	banned := map[int]bool{}
+	var failed []int
+	for step := 0; step < n; step++ {
+		repair := len(failed) > 0 && (rng.Intn(3) == 0 || len(failed) == len(links))
+		prevRules := it.RulesPerSwitch()
+		var delta RuleDelta
+		if repair {
+			i := rng.Intn(len(failed))
+			l := failed[i]
+			failed = append(failed[:i], failed[i+1:]...)
+			delete(banned, l)
+			delta = it.Repair(l)
+		} else {
+			var alive []int
+			for _, l := range links {
+				if !banned[l] {
+					alive = append(alive, l)
+				}
+			}
+			l := alive[rng.Intn(len(alive))]
+			banned[l] = true
+			failed = append(failed, l)
+			delta = it.Fail(l)
+		}
+		// The delta must transform the previous rule state into the new
+		// one exactly.
+		for sw, add := range delta.Adds {
+			prevRules[sw] += add
+		}
+		for sw, del := range delta.Dels {
+			prevRules[sw] -= del
+			if prevRules[sw] == 0 {
+				delete(prevRules, sw)
+			}
+		}
+		if got := it.RulesPerSwitch(); !reflect.DeepEqual(prevRules, got) {
+			t.Fatalf("step %d: delta does not reconcile rule states: applied %v, actual %v", step, prevRules, got)
+		}
+		requireTableEqualsRebuild(t, step, it, tp, banned)
+	}
+	if len(failed) == 0 && it.DegradedPairs() != 0 {
+		t.Fatalf("no links masked but %d pairs degraded", it.DegradedPairs())
+	}
+}
+
+// TestIncrementalDifferentialClos runs a 60-event random trace on the
+// Clos-mode cache topology, checking incremental-vs-rebuild equality
+// after every event.
+func TestIncrementalDifferentialClos(t *testing.T) {
+	tp := cacheTestTopo(t)
+	driveTrace(t, tp, 4, 60, 17)
+}
+
+// parallelLinkTopo is a small fabric with parallel switch-switch links —
+// the shape flat-tree converter rewiring creates — so masking one of a
+// bundle leaves its twin carrying traffic.
+func parallelLinkTopo() *topo.Topology {
+	tp := topo.NewTopology("parallel-links")
+	e0 := tp.AddNode(topo.Edge, 0)
+	e1 := tp.AddNode(topo.Edge, 0)
+	e2 := tp.AddNode(topo.Edge, 1)
+	a0 := tp.AddNode(topo.Agg, 0)
+	a1 := tp.AddNode(topo.Agg, 1)
+	for _, pair := range [][2]int{{e0, a0}, {e0, a0}, {e1, a0}, {e1, a1}, {e2, a1}, {e2, a1}, {a0, a1}, {e0, a1}, {e2, a0}} {
+		tp.AddLink(pair[0], pair[1])
+	}
+	for i := 0; i < 6; i++ {
+		s := tp.AddNode(topo.Server, i/2)
+		tp.AttachServer(s, []int{e0, e1, e2}[i/2])
+	}
+	return tp
+}
+
+// TestIncrementalDifferentialParallelLinks drives a long trace over a
+// fabric with parallel links, including full partitions of an edge
+// switch.
+func TestIncrementalDifferentialParallelLinks(t *testing.T) {
+	tp := parallelLinkTopo()
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	driveTrace(t, tp, 3, 250, 5)
+}
+
+// TestIncrementalZeroAffectedFailure pins the §4.3 no-op case: masking a
+// link whose switch pair no installed path traverses yields an empty
+// delta and leaves the table untouched.
+func TestIncrementalZeroAffectedFailure(t *testing.T) {
+	tp := parallelLinkTopo()
+	it := NewIncremental(BuildKShortest(tp, 1))
+	// With k=1 each pair installs one shortest path; detour-only bundles
+	// like a0-a1 carry no installed path.
+	var unused int = -1
+	for _, l := range switchLinks(tp) {
+		if len(it.curUse[it.adjOf(l)]) == 0 {
+			unused = l
+			break
+		}
+	}
+	if unused < 0 {
+		t.Fatal("no bundle-unused link at k=1")
+	}
+	delta := it.Fail(unused)
+	if !delta.Empty() {
+		t.Fatalf("masking unused link %d produced delta %+v", unused, delta)
+	}
+	if it.DegradedPairs() != 0 {
+		t.Fatalf("masking unused link degraded %d pairs", it.DegradedPairs())
+	}
+	requireTableEqualsRebuild(t, 0, it, tp, map[int]bool{unused: true})
+	if d := it.Repair(unused); !d.Empty() {
+		t.Fatalf("repairing unused link produced delta %+v", d)
+	}
+}
+
+// TestIncrementalWorkerInvariance replays the same trace at one and at
+// eight workers: every delta and the final table must be identical.
+func TestIncrementalWorkerInvariance(t *testing.T) {
+	tp := cacheTestTopo(t)
+	run := func(workers int) ([]RuleDelta, map[int]int) {
+		parallel.SetDefaultWorkers(workers)
+		defer parallel.SetDefaultWorkers(0)
+		rng := rand.New(rand.NewSource(23))
+		it := NewIncremental(BuildKShortest(tp, 4))
+		links := switchLinks(tp)
+		banned := map[int]bool{}
+		var failed, deltas = []int{}, []RuleDelta{}
+		for step := 0; step < 40; step++ {
+			if len(failed) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(failed))
+				l := failed[i]
+				failed = append(failed[:i], failed[i+1:]...)
+				delete(banned, l)
+				deltas = append(deltas, it.Repair(l))
+				continue
+			}
+			var alive []int
+			for _, l := range links {
+				if !banned[l] {
+					alive = append(alive, l)
+				}
+			}
+			l := alive[rng.Intn(len(alive))]
+			banned[l] = true
+			failed = append(failed, l)
+			deltas = append(deltas, it.Fail(l))
+		}
+		return deltas, it.RulesPerSwitch()
+	}
+	d1, r1 := run(1)
+	d8, r8 := run(8)
+	if !reflect.DeepEqual(d1, d8) {
+		t.Fatal("deltas differ between -workers=1 and -workers=8")
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Fatal("rule state differs between -workers=1 and -workers=8")
+	}
+}
+
+// TestIncrementalDoesNotMutateBaseline wraps a table, churns it, and
+// verifies the wrapped baseline still equals a fresh build — cached
+// tables must be safe to wrap.
+func TestIncrementalDoesNotMutateBaseline(t *testing.T) {
+	tp := cacheTestTopo(t)
+	base := BuildKShortest(tp, 4)
+	it := NewIncremental(base)
+	links := switchLinks(tp)
+	it.Fail(links[0])
+	it.Fail(links[3])
+	it.Repair(links[0])
+	fresh := BuildKShortest(tp, 4)
+	if len(base.Paths) != len(fresh.Paths) {
+		t.Fatalf("baseline pair count changed: %d vs %d", len(base.Paths), len(fresh.Paths))
+	}
+	for pk, want := range fresh.Paths {
+		if !reflect.DeepEqual(base.Paths[pk], want) {
+			t.Fatalf("baseline pair %v mutated", pk)
+		}
+	}
+}

@@ -114,7 +114,11 @@ func serverUplink(t *topo.Topology, server int) int {
 }
 
 // EqualCostPaths returns only the minimum-length prefix of the k paths
-// between two ingress switches — the path set ECMP spreads over.
+// between two ingress switches — the path set ECMP spreads over. When
+// every stored path is minimum length the true equal-cost set may extend
+// past the table's k (Yen stopped, not the topology), silently biasing an
+// ECMP baseline toward the first k paths; that truncation is surfaced via
+// the routing_ecmp_truncated_total counter.
 func (tb *Table) EqualCostPaths(src, dst int) []graph.Path {
 	paths := tb.SwitchPaths(src, dst)
 	if len(paths) == 0 {
@@ -124,6 +128,9 @@ func (tb *Table) EqualCostPaths(src, dst int) []graph.Path {
 	i := 0
 	for i < len(paths) && paths[i].Len() == min {
 		i++
+	}
+	if i == len(paths) && len(paths) >= tb.K {
+		telemetry.C("routing_ecmp_truncated_total").Inc()
 	}
 	return paths[:i]
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"flattree/internal/core"
+	"flattree/internal/telemetry"
 	"flattree/internal/topo"
 )
 
@@ -288,5 +289,52 @@ func TestFlowHashStable(t *testing.T) {
 	}
 	if FlowHash(1, 2, 3) == FlowHash(2, 1, 3) {
 		t.Fatal("direction ignored")
+	}
+}
+
+// TestEqualCostPathsTruncationSurfaced pins the ECMP truncation fix: on a
+// fabric with more equal-cost shortest paths than the table's k, the full
+// stored prefix is minimum length, and the truncation is surfaced via the
+// routing_ecmp_truncated_total counter instead of passing silently.
+func TestEqualCostPathsTruncationSurfaced(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	// Two edge switches joined through three aggs: three two-hop
+	// equal-cost paths between the edges.
+	tp := topo.NewTopology("ecmp-fan")
+	e0 := tp.AddNode(topo.Edge, 0)
+	e1 := tp.AddNode(topo.Edge, 1)
+	for i := 0; i < 3; i++ {
+		a := tp.AddNode(topo.Agg, i%2)
+		tp.AddLink(e0, a)
+		tp.AddLink(e1, a)
+	}
+	for _, sw := range []int{e0, e1} {
+		s := tp.AddNode(topo.Server, tp.Nodes[sw].Pod)
+		tp.AttachServer(s, sw)
+	}
+
+	// k=2 holds only two of the three equal-cost paths: the whole stored
+	// set is minimum length, so the truncation must be surfaced.
+	small := BuildKShortest(tp, 2)
+	ctr := telemetry.C("routing_ecmp_truncated_total")
+	before := ctr.Value()
+	eq := small.EqualCostPaths(e0, e1)
+	if len(eq) != 2 {
+		t.Fatalf("k=2 equal-cost set has %d paths, want 2", len(eq))
+	}
+	if ctr.Value() != before+1 {
+		t.Fatal("truncated equal-cost set did not increment routing_ecmp_truncated_total")
+	}
+	// k=4 exceeds the three available paths, so the set is provably
+	// complete and the counter stays put.
+	big := BuildKShortest(tp, 4)
+	before = ctr.Value()
+	eq = big.EqualCostPaths(e0, e1)
+	if len(eq) != 3 {
+		t.Fatalf("k=4 equal-cost set has %d paths, want 3", len(eq))
+	}
+	if ctr.Value() != before {
+		t.Fatal("complete equal-cost set incremented routing_ecmp_truncated_total")
 	}
 }
