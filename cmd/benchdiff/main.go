@@ -1,0 +1,302 @@
+// Command benchdiff maintains the repository's performance trajectory:
+// it parses `go test -bench` output into a structured trajectory point
+// (BENCH_<label>.json, committed into the tree), and gates CI by
+// comparing a fresh point against the committed ones.
+//
+// Usage:
+//
+//	go test -bench=. ./... | benchdiff -parse - -label pr6 -out BENCH_pr6.json
+//	benchdiff -check BENCH_ci.json -against 'BENCH_pr*.json' -tolerance 10
+//
+// The check compares each benchmark's ns/op against the best (lowest)
+// value any baseline point recorded for the same package and benchmark
+// name, and exits non-zero when the current value exceeds baseline ×
+// tolerance. Benchmarks with fewer than -min-iters iterations in the
+// current point are skipped rather than gated — a one-iteration sample
+// (CI's -benchtime=1x smoke) measures warmup, not steady state.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Point is one PR's (or one CI run's) position on the perf trajectory.
+type Point struct {
+	Label  string `json:"label"`
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks is sorted by package, name, procs — the files diff
+	// cleanly between regenerations.
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark result: every metric go test printed for it,
+// keyed by unit (ns/op, B/op, allocs/op, custom ReportMetric units).
+type Bench struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// benchLine matches "BenchmarkFoo-8   123   4.56 ns/op   0 B/op ...".
+// The GOMAXPROCS suffix is optional (GOMAXPROCS=1 omits it).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)((?:\s+[0-9][0-9.e+-]*\s+\S+)+)\s*$`)
+
+// parseBench reads `go test -bench` text output. Package attribution
+// comes from the "pkg:" header go test prints before each package's
+// benchmarks; goos/goarch/cpu headers describe the machine.
+func parseBench(r io.Reader, label string) (*Point, error) {
+	pt := &Point{Label: label}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "goos: "):
+			pt.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			pt.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			pt.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Bench{Pkg: pkg, Name: m[1], Metrics: map[string]float64{}}
+		if m[2] != "" {
+			b.Procs, _ = strconv.Atoi(m[2])
+		}
+		var err error
+		if b.Iterations, err = strconv.ParseInt(m[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("benchdiff: bad iteration count in %q: %w", line, err)
+		}
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad metric value in %q: %w", line, err)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		pt.Benchmarks = append(pt.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(pt.Benchmarks, func(i, j int) bool {
+		a, b := pt.Benchmarks[i], pt.Benchmarks[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Procs < b.Procs
+	})
+	return pt, nil
+}
+
+// Regression is one benchmark that got slower than tolerance allows.
+type Regression struct {
+	Pkg, Name string
+	// Cur and Base are ns/op; BaseLabel names the point that set the
+	// baseline.
+	Cur, Base float64
+	BaseLabel string
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s.%s: %.4g ns/op vs %.4g ns/op in %s (%.1fx)",
+		r.Pkg, r.Name, r.Cur, r.Base, r.BaseLabel, r.Cur/r.Base)
+}
+
+// compare gates the current point: for each benchmark with at least
+// minIters iterations whose (pkg, name) appears in a prior point, the
+// current ns/op must stay within tolerance × the best prior ns/op. The
+// GOMAXPROCS suffix is deliberately ignored — runner core counts differ.
+func compare(cur *Point, priors []*Point, tolerance float64, minIters int64) (regs []Regression, gated, skipped, unmatched int) {
+	type baseline struct {
+		ns    float64
+		label string
+	}
+	best := map[string]baseline{}
+	for _, p := range priors {
+		for _, b := range p.Benchmarks {
+			ns, ok := b.Metrics["ns/op"]
+			if !ok || ns <= 0 {
+				continue
+			}
+			key := b.Pkg + "." + b.Name
+			if cur, ok := best[key]; !ok || ns < cur.ns {
+				best[key] = baseline{ns, p.Label}
+			}
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		base, ok := best[b.Pkg+"."+b.Name]
+		if !ok {
+			unmatched++
+			continue
+		}
+		if b.Iterations < minIters {
+			skipped++
+			continue
+		}
+		gated++
+		if ns > base.ns*tolerance {
+			regs = append(regs, Regression{Pkg: b.Pkg, Name: b.Name, Cur: ns, Base: base.ns, BaseLabel: base.label})
+		}
+	}
+	return regs, gated, skipped, unmatched
+}
+
+// loadPoints reads every trajectory point the glob matches, skipping the
+// file at exclude (the point under check) and files that are not
+// structured points (pre-benchdiff artifacts) with a warning.
+func loadPoints(glob, exclude string) ([]*Point, error) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: bad -against pattern %q: %w", glob, err)
+	}
+	sort.Strings(paths)
+	var pts []*Point
+	for _, p := range paths {
+		if sameFile(p, exclude) {
+			continue
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var pt Point
+		if err := json.Unmarshal(data, &pt); err != nil || len(pt.Benchmarks) == 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: skipping %s: not a structured trajectory point\n", p)
+			continue
+		}
+		pts = append(pts, &pt)
+	}
+	return pts, nil
+}
+
+func sameFile(a, b string) bool {
+	if b == "" {
+		return false
+	}
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}
+
+func writePoint(pt *Point, dst string) error {
+	var w io.Writer = os.Stdout
+	if dst != "-" {
+		f, err := os.Create(dst)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pt)
+}
+
+func main() {
+	var (
+		parse     = flag.String("parse", "", "parse `go test -bench` output from this file ('-' for stdin) into a trajectory point")
+		label     = flag.String("label", "local", "label stored in the parsed point (pr6, ci, ...)")
+		out       = flag.String("out", "-", "write the parsed point to this file ('-' for stdout)")
+		check     = flag.String("check", "", "gate this trajectory point against the committed baselines")
+		against   = flag.String("against", "BENCH_*.json", "glob of baseline points for -check (the checked file itself is excluded)")
+		tolerance = flag.Float64("tolerance", 4, "fail when a benchmark's ns/op exceeds its best baseline by this factor")
+		minIters  = flag.Int64("min-iters", 10, "gate only benchmarks with at least this many iterations in the checked point")
+	)
+	flag.Parse()
+	if (*parse == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "benchdiff: exactly one of -parse or -check is required")
+		os.Exit(2)
+	}
+
+	if *parse != "" {
+		r := io.Reader(os.Stdin)
+		if *parse != "-" {
+			f, err := os.Open(*parse)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			r = f
+		}
+		pt, err := parseBench(r, *label)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		if len(pt.Benchmarks) == 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines in input")
+			os.Exit(1)
+		}
+		if err := writePoint(pt, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	data, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	var cur Point
+	if err := json.Unmarshal(data, &cur); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *check, err)
+		os.Exit(1)
+	}
+	priors, err := loadPoints(*against, *check)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if len(priors) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no baseline points match %q; nothing to gate\n", *against)
+		return
+	}
+	regs, gated, skipped, unmatched := compare(&cur, priors, *tolerance, *minIters)
+	fmt.Printf("benchdiff: %d benchmarks gated against %d baseline points (%d below -min-iters, %d without baseline)\n",
+		gated, len(priors), skipped, unmatched)
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Printf("REGRESSION %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regressions beyond %.1fx tolerance\n", *tolerance)
+}

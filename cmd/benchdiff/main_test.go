@@ -1,0 +1,153 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// golden is a realistic `go test -bench` transcript covering two
+// packages, GOMAXPROCS suffixes, sub-nanosecond values, allocation
+// metrics, and noise lines that must be ignored.
+const golden = `goos: linux
+goarch: amd64
+pkg: flattree/internal/recorder
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkEmitDisabled-8   	1000000000	         0.5123 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEmitEnabled-8    	31415926	        38.27 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	flattree/internal/recorder	2.345s
+pkg: flattree/internal/routing
+BenchmarkRepair 	     100	    123456 ns/op
+--- BENCH: BenchmarkRepair
+    some_test.go:1: note
+PASS
+ok  	flattree/internal/routing	0.5s
+`
+
+func parseGolden(t *testing.T, label string) *Point {
+	t.Helper()
+	pt, err := parseBench(strings.NewReader(golden), label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+func TestParseBench(t *testing.T) {
+	pt := parseGolden(t, "pr6")
+	if pt.Label != "pr6" || pt.GoOS != "linux" || pt.GoArch != "amd64" {
+		t.Fatalf("headers not captured: %+v", pt)
+	}
+	if len(pt.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(pt.Benchmarks))
+	}
+	// Sorted by pkg then name.
+	b := pt.Benchmarks[0]
+	if b.Pkg != "flattree/internal/recorder" || b.Name != "BenchmarkEmitDisabled" {
+		t.Fatalf("first benchmark = %s.%s", b.Pkg, b.Name)
+	}
+	if b.Procs != 8 || b.Iterations != 1000000000 {
+		t.Fatalf("procs/iterations = %d/%d", b.Procs, b.Iterations)
+	}
+	if got := b.Metrics["ns/op"]; got != 0.5123 {
+		t.Fatalf("ns/op = %v", got)
+	}
+	if got := b.Metrics["allocs/op"]; got != 0 {
+		t.Fatalf("allocs/op = %v", got)
+	}
+	// No-procs-suffix line (GOMAXPROCS=1 style).
+	r := pt.Benchmarks[2]
+	if r.Pkg != "flattree/internal/routing" || r.Name != "BenchmarkRepair" || r.Procs != 0 {
+		t.Fatalf("routing benchmark = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 123456 {
+		t.Fatalf("routing ns/op = %v", r.Metrics["ns/op"])
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base := parseGolden(t, "pr6")
+	cur := parseGolden(t, "ci")
+	regs, gated, skipped, unmatched := compare(cur, []*Point{base}, 4, 10)
+	if len(regs) != 0 {
+		t.Fatalf("identical points regressed: %v", regs)
+	}
+	if gated != 3 || skipped != 0 || unmatched != 0 {
+		t.Fatalf("gated/skipped/unmatched = %d/%d/%d", gated, skipped, unmatched)
+	}
+}
+
+func TestCompareSyntheticRegression(t *testing.T) {
+	base := parseGolden(t, "pr6")
+	cur := parseGolden(t, "ci")
+	// 5x slowdown on one benchmark exceeds the 4x tolerance.
+	for i := range cur.Benchmarks {
+		if cur.Benchmarks[i].Name == "BenchmarkEmitEnabled" {
+			cur.Benchmarks[i].Metrics["ns/op"] *= 5
+		}
+	}
+	regs, _, _, _ := compare(cur, []*Point{base}, 4, 10)
+	if len(regs) != 1 {
+		t.Fatalf("want 1 regression, got %v", regs)
+	}
+	if regs[0].Name != "BenchmarkEmitEnabled" || regs[0].BaseLabel != "pr6" {
+		t.Fatalf("regression misattributed: %+v", regs[0])
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := parseGolden(t, "pr6")
+	cur := parseGolden(t, "ci")
+	for i := range cur.Benchmarks {
+		cur.Benchmarks[i].Metrics["ns/op"] *= 3 // under the 4x gate
+	}
+	if regs, _, _, _ := compare(cur, []*Point{base}, 4, 10); len(regs) != 0 {
+		t.Fatalf("3x inside 4x tolerance flagged: %v", regs)
+	}
+}
+
+func TestCompareSkipsLowIterationSamples(t *testing.T) {
+	base := parseGolden(t, "pr6")
+	cur := parseGolden(t, "ci")
+	for i := range cur.Benchmarks {
+		cur.Benchmarks[i].Iterations = 1 // -benchtime=1x smoke
+		cur.Benchmarks[i].Metrics["ns/op"] *= 100
+	}
+	regs, gated, skipped, _ := compare(cur, []*Point{base}, 4, 10)
+	if len(regs) != 0 || gated != 0 || skipped != 3 {
+		t.Fatalf("low-iteration samples gated: regs=%v gated=%d skipped=%d", regs, gated, skipped)
+	}
+}
+
+func TestCompareBestBaselineWins(t *testing.T) {
+	slow := parseGolden(t, "pr5")
+	for i := range slow.Benchmarks {
+		slow.Benchmarks[i].Metrics["ns/op"] *= 10
+	}
+	fast := parseGolden(t, "pr6")
+	cur := parseGolden(t, "ci")
+	for i := range cur.Benchmarks {
+		cur.Benchmarks[i].Metrics["ns/op"] *= 5
+	}
+	// Against the slow point alone 5x would pass; the best baseline
+	// (pr6) must drive the gate.
+	regs, _, _, _ := compare(cur, []*Point{slow, fast}, 4, 10)
+	if len(regs) != 3 {
+		t.Fatalf("best baseline not used: %v", regs)
+	}
+	for _, r := range regs {
+		if r.BaseLabel != "pr6" {
+			t.Fatalf("baseline attributed to %s, want pr6", r.BaseLabel)
+		}
+	}
+}
+
+func TestCompareUnmatchedBenchmarks(t *testing.T) {
+	base := parseGolden(t, "pr6")
+	cur := parseGolden(t, "ci")
+	cur.Benchmarks[0].Name = "BenchmarkBrandNew"
+	regs, gated, _, unmatched := compare(cur, []*Point{base}, 4, 10)
+	if len(regs) != 0 || gated != 2 || unmatched != 1 {
+		t.Fatalf("new benchmark handling: regs=%v gated=%d unmatched=%d", regs, gated, unmatched)
+	}
+}

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -25,6 +26,7 @@ import (
 	"flattree/internal/experiments"
 	"flattree/internal/metrics"
 	"flattree/internal/parallel"
+	"flattree/internal/recorder"
 	"flattree/internal/telemetry"
 )
 
@@ -35,11 +37,18 @@ func main() {
 		epsilon  = flag.Float64("epsilon", 0.25, "LP approximation accuracy")
 		telemOut = flag.String("telemetry", "", "write the JSON telemetry snapshot to this file, or '-' for stdout")
 		workers  = flag.Int("workers", 0, "worker-pool size for parallel sections (0 = GOMAXPROCS); results are identical for any value")
+		record   = flag.String("record", "", "flight-recorder output base: writes <base>.trace.json (Perfetto), <base>.jsonl (journal), <base>.runinfo.json")
+		recLimit = flag.Int("record-limit", recorder.DefaultLimit, "flight-recorder ring capacity: events kept per track before the oldest are dropped")
+		runinfo  = flag.String("runinfo", "runinfo.json", "write the provenance manifest to this file, or '-' for stdout; empty disables (with -record the manifest goes to <base>.runinfo.json instead)")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 	cfg := experiments.Config{Full: *full, Seed: *seed, Epsilon: *epsilon}
 	reg := telemetry.Enable()
+	var rec *recorder.Recorder
+	if *record != "" {
+		rec = recorder.Enable(*recLimit)
+	}
 
 	order := []string{
 		"table1", "table2", "fig5", "fig6", "fig7", "fig8",
@@ -68,9 +77,50 @@ func main() {
 			failures++
 		}
 	}
+	if err := writeRecord(rec, snap, *record, *runinfo, *seed, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+		failures++
+	}
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeRecord exports the flight-recorder trace and journal (when -record
+// gave a base path) and the run's provenance manifest.
+func writeRecord(rec *recorder.Recorder, snap *telemetry.Snapshot, base, runinfoDst string, seed int64, workers int) error {
+	if base != "" {
+		if err := writeFile(base+".trace.json", func(w io.Writer) error { return recorder.WriteTrace(w, rec, snap) }); err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+		if err := writeFile(base+".jsonl", func(w io.Writer) error { return recorder.WriteJournal(w, rec) }); err != nil {
+			return fmt.Errorf("journal export: %w", err)
+		}
+		runinfoDst = base + ".runinfo.json"
+	}
+	if runinfoDst == "" {
+		return nil
+	}
+	ri := recorder.CollectRunInfo("benchtables", seed, workers, recorder.FlagMap(flag.CommandLine), rec, snap)
+	if err := writeFile(runinfoDst, ri.WriteJSON); err != nil {
+		return fmt.Errorf("runinfo manifest: %w", err)
+	}
+	return nil
+}
+
+func writeFile(dst string, write func(w io.Writer) error) error {
+	if dst == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // summarize renders the run's telemetry: per-experiment wall time from the

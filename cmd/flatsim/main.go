@@ -10,6 +10,11 @@
 //	flatsim -list                      # show experiment IDs
 //	flatsim -exp table3 -telemetry -   # JSON telemetry snapshot to stdout
 //	flatsim -exp fig8 -prom metrics.prom -pprof localhost:6060
+//	flatsim -exp churn -record run     # run.trace.json + run.jsonl + run.runinfo.json
+//
+// Every run writes a provenance manifest (seed, workers, toolchain, git
+// revision, flag set, telemetry counter digest) — runinfo.json by
+// default, -runinfo to move or disable it.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 
 	"flattree/internal/experiments"
 	"flattree/internal/parallel"
+	"flattree/internal/recorder"
 	"flattree/internal/telemetry"
 )
 
@@ -40,6 +46,9 @@ func main() {
 		promOut   = flag.String("prom", "", "write Prometheus text-exposition metrics to this file, or '-' for stdout")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 		workers   = flag.Int("workers", 0, "worker-pool size for parallel sections (0 = GOMAXPROCS); results are identical for any value")
+		record    = flag.String("record", "", "flight-recorder output base: writes <base>.trace.json (Perfetto), <base>.jsonl (journal), <base>.runinfo.json")
+		recLimit  = flag.Int("record-limit", recorder.DefaultLimit, "flight-recorder ring capacity: events kept per track before the oldest are dropped")
+		runinfo   = flag.String("runinfo", "runinfo.json", "write the provenance manifest to this file, or '-' for stdout; empty disables (with -record the manifest goes to <base>.runinfo.json instead)")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
@@ -58,9 +67,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	var reg *telemetry.Registry
-	if *telemOut != "" || *promOut != "" {
-		reg = telemetry.Enable()
+	// Telemetry is always on: the provenance manifest digests the
+	// counters, and the per-experiment stderr summary reads the flowsim
+	// stall/reroute/disconnect totals. The snapshot/Prometheus files are
+	// still opt-in.
+	reg := telemetry.Enable()
+	var rec *recorder.Recorder
+	if *record != "" {
+		rec = recorder.Enable(*recLimit)
 	}
 	if *pprofAddr != "" {
 		go func() {
@@ -86,10 +100,16 @@ func main() {
 			fmt.Println(oc.Result.String())
 			fmt.Fprintf(os.Stderr, "(%s in %v)\n", oc.Name, oc.Elapsed.Round(time.Millisecond))
 		}
+		// Experiments ran concurrently, so the global flow counters can
+		// only be reported as batch totals here.
+		if fs := flowCounters(reg); fs.any() {
+			fmt.Fprintf(os.Stderr, "flows over all experiments: %s\n", fs)
+		}
 		if failed {
 			os.Exit(1)
 		}
 	} else {
+		prev := flowCounters(reg)
 		for _, name := range names {
 			start := time.Now()
 			var res experiments.Result
@@ -104,7 +124,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println(res.String())
-			fmt.Fprintf(os.Stderr, "(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
+			cur := flowCounters(reg)
+			if d := cur.sub(prev); d.any() {
+				fmt.Fprintf(os.Stderr, "(%s in %v; flows: %s)\n", name, time.Since(start).Round(time.Millisecond), d)
+			} else {
+				fmt.Fprintf(os.Stderr, "(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
+			}
+			prev = cur
 		}
 	}
 
@@ -112,6 +138,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flatsim: %v\n", err)
 		os.Exit(1)
 	}
+	if err := writeRecord("flatsim", rec, reg, *record, *runinfo, *seed, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "flatsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// flowStats are the simulator's per-flow incident counters at one
+// instant; per-experiment deltas make up the stderr summary.
+type flowStats struct {
+	stalls, reroutes, disconnects int64
+}
+
+func flowCounters(reg *telemetry.Registry) flowStats {
+	snap := reg.Snapshot()
+	return flowStats{
+		stalls:      snap.Counters["flowsim_stalls_total"],
+		reroutes:    snap.Counters["flowsim_reroutes_total"],
+		disconnects: snap.Counters["flowsim_disconnected_total"],
+	}
+}
+
+func (f flowStats) sub(prev flowStats) flowStats {
+	return flowStats{f.stalls - prev.stalls, f.reroutes - prev.reroutes, f.disconnects - prev.disconnects}
+}
+
+func (f flowStats) any() bool { return f.stalls != 0 || f.reroutes != 0 || f.disconnects != 0 }
+
+func (f flowStats) String() string {
+	return fmt.Sprintf("%d stalled, %d rerouted, %d disconnected", f.stalls, f.reroutes, f.disconnects)
+}
+
+// writeRecord exports the run's flight-recorder artifacts and provenance
+// manifest. With base set, the trace, journal, and manifest land at
+// <base>.trace.json / <base>.jsonl / <base>.runinfo.json; otherwise only
+// the manifest is written, to runinfoDst (empty disables).
+func writeRecord(tool string, rec *recorder.Recorder, reg *telemetry.Registry, base, runinfoDst string, seed int64, workers int) error {
+	snap := reg.Snapshot()
+	if base != "" {
+		if err := writeTo(base+".trace.json", func(w io.Writer) error { return recorder.WriteTrace(w, rec, snap) }); err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+		if err := writeTo(base+".jsonl", func(w io.Writer) error { return recorder.WriteJournal(w, rec) }); err != nil {
+			return fmt.Errorf("journal export: %w", err)
+		}
+		runinfoDst = base + ".runinfo.json"
+	}
+	if runinfoDst == "" {
+		return nil
+	}
+	ri := recorder.CollectRunInfo(tool, seed, workers, recorder.FlagMap(flag.CommandLine), rec, snap)
+	if err := writeTo(runinfoDst, ri.WriteJSON); err != nil {
+		return fmt.Errorf("runinfo manifest: %w", err)
+	}
+	return nil
 }
 
 // resolveExperiments expands and validates the -exp argument against the

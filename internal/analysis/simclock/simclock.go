@@ -1,10 +1,12 @@
 // Package simclock forbids wall-clock reads in packages that run on
 // simulated event time.
 //
-// flowsim, packetsim, and churn advance a virtual clock; a time.Now or
-// time.Since in their event paths silently couples simulation results
-// to host scheduling. Telemetry is the one legitimate consumer of wall
-// time in these packages, so a clock read is whitelisted when it
+// flowsim, packetsim, and churn advance a virtual clock, and recorder
+// stamps its events with that clock's values; a time.Now or time.Since
+// in their event paths silently couples simulation results (or the
+// byte-deterministic journal) to host scheduling. Telemetry is the one
+// legitimate consumer of wall time in these packages, so a clock read
+// is whitelisted when it
 // appears inside the arguments of a call into the telemetry package,
 // or when it is assigned to a variable whose every use feeds such a
 // call (the `start := time.Now(); defer func(){ span.ObserveSince(start) }()`
@@ -19,7 +21,10 @@ import (
 )
 
 // Packages is the final-segment scope running on simulated time.
-var Packages = []string{"flowsim", "packetsim", "churn"}
+// recorder is included because its exports must stay deterministic:
+// the one place a trace file records export wall time carries a
+// reasoned //flatvet:clock waiver.
+var Packages = []string{"flowsim", "packetsim", "churn", "recorder"}
 
 // clockFuncs are the forbidden wall-clock reads.
 var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}

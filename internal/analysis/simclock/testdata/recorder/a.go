@@ -1,0 +1,17 @@
+package recorder
+
+import "time"
+
+// EventStamp would stamp a recorded event with wall time, destroying
+// journal byte-determinism: reported.
+func EventStamp() float64 {
+	return float64(time.Now().UnixNano()) / 1e9 // want `wall-clock time.Now in simulated-time package`
+}
+
+// ExportedAt is the trace exporter's provenance shape — wall time about
+// the export itself, never simulation state — and needs the reasoned
+// waiver: allowed.
+func ExportedAt() string {
+	//flatvet:clock trace metadata records export wall time, never sim state
+	return time.Now().UTC().Format(time.RFC3339)
+}

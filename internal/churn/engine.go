@@ -8,6 +8,7 @@ import (
 	"flattree/internal/control"
 	"flattree/internal/flowsim"
 	"flattree/internal/graph"
+	"flattree/internal/recorder"
 	"flattree/internal/routing"
 	"flattree/internal/telemetry"
 	"flattree/internal/topo"
@@ -41,6 +42,13 @@ type Engine struct {
 	// Delay.Parallel, by the total otherwise). No OCS term applies —
 	// failure handling never reconfigures converters.
 	Delay control.DelayModel
+
+	// Rec, when set, receives the compilation's flight-recorder events:
+	// one link_fail/link_repair per trace event at its sim time, the
+	// control-plane reaction window, and the per-switch rule deltas the
+	// incremental table installs. Concurrent engines must use distinct
+	// tracks.
+	Rec *recorder.Track
 }
 
 // Plan is a compiled churn schedule.
@@ -97,6 +105,7 @@ func (e *Engine) Compile(trace Trace, conns []Conn) (*Plan, error) {
 
 	table := routing.BuildKShortestCached(t, k)
 	inc := routing.NewIncremental(table)
+	inc.SetRecorder(e.Rec)
 	view := inc.View()
 	specs := make([]flowsim.ConnSpec, len(conns))
 	installed := make([][][]int, len(conns))
@@ -138,9 +147,11 @@ func (e *Engine) Compile(trace Trace, conns []Conn) (*Plan, error) {
 			cap = t.G.Link(link).Capacity
 			delete(deadSlots, 2*link)
 			delete(deadSlots, 2*link+1)
+			e.Rec.Emit(recorder.Event{T: ev.Time, Kind: recorder.LinkRepair, ID: link, A: int64(ev.A), B: int64(ev.B)})
 		} else {
 			deadSlots[2*link] = true
 			deadSlots[2*link+1] = true
+			e.Rec.Emit(recorder.Event{T: ev.Time, Kind: recorder.LinkFail, ID: link, A: int64(ev.A), B: int64(ev.B)})
 		}
 		events = append(events, flowsim.TopoEvent{
 			Time:    ev.Time,
@@ -152,6 +163,7 @@ func (e *Engine) Compile(trace Trace, conns []Conn) (*Plan, error) {
 		// delta, which prices the reaction — §4.3's "only the changed
 		// rules are touched".
 		var delta routing.RuleDelta
+		inc.SetSimTime(ev.Time)
 		if ev.Repair {
 			delta = inc.Repair(link)
 		} else {
@@ -159,6 +171,8 @@ func (e *Engine) Compile(trace Trace, conns []Conn) (*Plan, error) {
 		}
 		delay := e.Detection + ruleTime(delta, e.Delay)
 		reactions = append(reactions, delay)
+		e.Rec.Emit(recorder.Event{T: ev.Time, Kind: recorder.Reaction, V: delay,
+			A: int64(delta.TotalDels()), B: int64(delta.TotalAdds())})
 
 		reroute := make(map[int][][]int)
 		for i, c := range conns {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"flattree/internal/core"
+	"flattree/internal/recorder"
 	"flattree/internal/routing"
 	"flattree/internal/telemetry"
 )
@@ -94,6 +95,11 @@ type Controller struct {
 	// route-computation cost for conversion reports.
 	lastCompute   float64
 	lastFromCache bool
+	// rec, when set, receives each conversion's phase breakdown as
+	// sim-time flight-recorder events; recClock positions them (see
+	// SetRecordClock).
+	rec      *recorder.Track
+	recClock float64
 }
 
 // cachedRoutes is one mode's precomputed routing state.
@@ -329,10 +335,47 @@ func (c *Controller) ConvertPods(modes []core.Mode) (*ConversionReport, error) {
 	sp.Record("rule-delete", rep.DeleteTime, telemetry.Int("rules_deleted", rep.RulesDeleted))
 	sp.Record("rule-add", rep.AddTime, telemetry.Int("rules_added", rep.RulesAdded))
 	sp.Record("ramp", rep.RampTime)
+	c.recordPhases(rep)
 	telemetry.C("control_conversions_total").Inc()
 	telemetry.C("control_rules_deleted_total").Add(int64(rep.RulesDeleted))
 	telemetry.C("control_rules_added_total").Add(int64(rep.RulesAdded))
 	return rep, nil
+}
+
+// SetRecorder directs each conversion's phase breakdown onto a flight-
+// recorder track. Concurrent controllers must use distinct tracks; a nil
+// track disables emission.
+func (c *Controller) SetRecorder(tr *recorder.Track) { c.rec = tr }
+
+// SetRecordClock positions the NEXT conversion's phases at sim time t.
+// The controller has no clock of its own — conversions are priced, not
+// scheduled — so the caller that knows when a conversion fires (the
+// testbed's iperf schedule, an experiment loop) supplies the instant.
+// Without a call, conversions stack back to back from zero.
+func (c *Controller) SetRecordClock(t float64) { c.recClock = t }
+
+// recordPhases emits the conversion's four phases as modeled slices at
+// the record clock and advances the clock past the ramp.
+func (c *Controller) recordPhases(rep *ConversionReport) {
+	if c.rec == nil {
+		return
+	}
+	t := c.recClock
+	phases := []struct {
+		label string
+		dur   float64
+		a     int64
+	}{
+		{"ocs", rep.OCSTime, int64(rep.ConvertersReconfigured)},
+		{"rule_delete", rep.DeleteTime, int64(rep.RulesDeleted)},
+		{"rule_add", rep.AddTime, int64(rep.RulesAdded)},
+		{"ramp", rep.RampTime, 0},
+	}
+	for _, ph := range phases {
+		c.rec.Emit(recorder.Event{T: t, Kind: recorder.ConversionPhase, V: ph.dur, A: ph.a, Label: ph.label})
+		t += ph.dur
+	}
+	c.recClock = t
 }
 
 // modesLabel renders a pod-mode vector compactly: the single mode name

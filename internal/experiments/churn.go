@@ -11,6 +11,7 @@ import (
 	"flattree/internal/flowsim"
 	"flattree/internal/metrics"
 	"flattree/internal/parallel"
+	"flattree/internal/recorder"
 	"flattree/internal/routing"
 	"flattree/internal/traffic"
 )
@@ -76,12 +77,15 @@ func (c Config) Churn() ([]ChurnRow, error) {
 		}
 		nw.SetMode(mode)
 		t := nw.Realize().Topo
+		rec := recorder.Default()
+		rec.Annotate("topology_fingerprint/"+mode.String(), t.Fingerprint())
 		servers := t.Servers()
 		var conns []churn.Conn
 		for _, pr := range traffic.Permutation(len(servers), c.Seed) {
 			conns = append(conns, churn.Conn{Src: servers[pr.Src], Dst: servers[pr.Dst], Bits: 20})
 		}
-		eng := &churn.Engine{Topo: t, K: 8, Detection: 0.05, Delay: delay}
+		eng := &churn.Engine{Topo: t, K: 8, Detection: 0.05, Delay: delay,
+			Rec: rec.Track("churn/" + mode.String() + "/engine")}
 		trace := churn.GenerateTrace(t, nFail, 1.0, 0.5, c.Seed+31)
 		plan, err := eng.Compile(trace, conns)
 		if err != nil {
@@ -94,6 +98,7 @@ func (c Config) Churn() ([]ChurnRow, error) {
 			return fmt.Errorf("churn %v baseline: %w", mode, err)
 		}
 		sim := flowsim.NewSim(caps, plan.Specs)
+		sim.Rec = rec.Track("churn/" + mode.String() + "/sim")
 		sim.Schedule(plan.Events)
 		sim.Horizon = horizon
 		res, err := sim.Run()

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"flattree/internal/parallel"
+	"flattree/internal/recorder"
+)
+
+// TestChurnJournalByteIdentical pins the flight recorder's central
+// guarantee end to end: a seeded churn run records a journal that is
+// byte-identical across repeated runs AND across worker counts. The
+// small ring limit forces drops on the busiest tracks, so the
+// deterministic-truncation path is covered too.
+func TestChurnJournalByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the churn experiment three times")
+	}
+	run := func(workers int) []byte {
+		parallel.SetDefaultWorkers(workers)
+		defer parallel.SetDefaultWorkers(0)
+		rec := recorder.Enable(256)
+		defer recorder.Disable()
+		if _, err := (Config{Seed: 1, Epsilon: 0.25}).Churn(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := recorder.WriteJournal(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := run(1)
+	again := run(1)
+	wide := run(8)
+	if !bytes.Equal(serial, again) {
+		t.Fatal("same seed, same workers: journals differ")
+	}
+	if !bytes.Equal(serial, wide) {
+		t.Fatal("workers=1 vs workers=8: journals differ")
+	}
+
+	j, err := recorder.DecodeJournal(serial)
+	if err != nil {
+		t.Fatalf("journal does not decode: %v", err)
+	}
+	if len(j.Events()) == 0 {
+		t.Fatal("churn run recorded no events")
+	}
+	// Both modes' engine and sim tracks plus the fingerprints made it in.
+	tracks := map[string]bool{}
+	notes := map[string]bool{}
+	for _, l := range j.Lines {
+		if l.Track != "" {
+			tracks[l.Track] = true
+		}
+		if l.Note != "" {
+			notes[l.Note] = true
+		}
+	}
+	for _, want := range []string{
+		"churn/clos/engine", "churn/clos/sim",
+		"churn/global/engine", "churn/global/sim",
+	} {
+		if !tracks[want] {
+			t.Fatalf("track %q missing (have %v)", want, tracks)
+		}
+	}
+	for _, want := range []string{"topology_fingerprint/clos", "topology_fingerprint/global"} {
+		if !notes[want] {
+			t.Fatalf("annotation %q missing (have %v)", want, notes)
+		}
+	}
+	// The 256-event rings must have truncated the busiest track,
+	// deterministically.
+	dropped := false
+	for _, l := range j.Lines {
+		if l.Track != "" && l.Dropped != nil && *l.Dropped > 0 {
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Fatal("expected ring drops at limit 256; drop path untested")
+	}
+}

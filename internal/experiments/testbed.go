@@ -7,6 +7,7 @@ import (
 	"flattree/internal/apps"
 	"flattree/internal/core"
 	"flattree/internal/metrics"
+	"flattree/internal/recorder"
 	"flattree/internal/sdn"
 	"flattree/internal/testbed"
 	"flattree/internal/traffic"
@@ -56,6 +57,7 @@ func (c Config) Fig10() (*Fig10Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	tb.Ctrl.SetRecorder(recorder.T("fig10/conversions"))
 	schedule := []testbed.ScheduleEntry{
 		{At: 60, Mode: core.ModeGlobal},
 		{At: 120, Mode: core.ModeLocal},
@@ -115,6 +117,7 @@ func (c Config) Table3() ([]Table3Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	tb.Ctrl.SetRecorder(recorder.T("table3/conversions"))
 	var rows []Table3Row
 	for _, m := range []core.Mode{core.ModeGlobal, core.ModeLocal, core.ModeClos} {
 		rep, err := tb.Ctrl.Convert(m)

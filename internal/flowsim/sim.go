@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"flattree/internal/recorder"
 	"flattree/internal/telemetry"
 )
 
@@ -87,6 +88,13 @@ type Sim struct {
 	// (the RTO-style doubling of a transport that lost its path); zero
 	// values default to 1 ms and 256 ms.
 	RetryBase, RetryMax float64
+
+	// Rec, when set, receives the run's sim-time flight-recorder events
+	// (flow start/stall/reroute/retire/disconnect plus one event per
+	// allocation round). Concurrent simulations must use distinct
+	// tracks so each stream stays deterministic; nil costs one branch
+	// per would-be event.
+	Rec *recorder.Track
 
 	events []TopoEvent
 }
@@ -206,6 +214,7 @@ func (s *Sim) Run() ([]ConnResult, error) {
 		} else {
 			backoff[c] = retryBase
 			stalls.Inc()
+			s.Rec.Emit(recorder.Event{T: now, Kind: recorder.FlowStall, ID: c})
 		}
 		retrying[c] = false
 		nextRetry[c] = now + backoff[c]
@@ -242,12 +251,15 @@ func (s *Sim) Run() ([]ConnResult, error) {
 				paths[c] = ev.Reroute[c]
 				results[c].Reroutes++
 				reroutes.Inc()
+				s.Rec.Emit(recorder.Event{T: ev.Time, Kind: recorder.FlowReroute, ID: c, A: int64(len(paths[c]))})
 			}
 		}
 		// Admit arrivals at the current time.
 		for nextArrival < n && s.specs[order[nextArrival]].Arrival <= t+1e-12 {
-			active[order[nextArrival]] = true
+			c := order[nextArrival]
+			active[c] = true
 			nextArrival++
+			s.Rec.Emit(recorder.Event{T: s.specs[c].Arrival, Kind: recorder.FlowStart, ID: c, A: int64(len(paths[c]))})
 		}
 		// Wake stalled connections whose retry timer fired; the allocation
 		// below decides whether the probe succeeds.
@@ -284,6 +296,7 @@ func (s *Sim) Run() ([]ConnResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.Rec.Emit(recorder.Event{T: t, Kind: recorder.AllocRound, A: int64(len(run)), B: int64(len(act))})
 		// Graceful degradation: finite connections at zero rate lost every
 		// path. While future events could revive them they park and retry;
 		// once no event or arrival remains, nothing can — park them for
@@ -302,6 +315,7 @@ func (s *Sim) Run() ([]ConnResult, error) {
 						retrying[c] = false
 						nextRetry[c] = math.Inf(1)
 						disconnected.Inc()
+						s.Rec.Emit(recorder.Event{T: t, Kind: recorder.FlowDisconnect, ID: c})
 					} else {
 						stall(c, t)
 					}
@@ -385,6 +399,8 @@ func (s *Sim) Run() ([]ConnResult, error) {
 				delete(active, c)
 				completed.Inc()
 				fct.Observe(results[c].FCT())
+				s.Rec.Emit(recorder.Event{T: t, Kind: recorder.FlowRetire, ID: c,
+					V: results[c].FCT(), A: int64(results[c].Reroutes)})
 			}
 		}
 	}

@@ -1,0 +1,47 @@
+package recorder
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzJournalRoundTrip pins the journal's canonical-form property: any
+// input DecodeJournal accepts re-encodes to a canonical byte string that
+// decodes again and re-encodes to the SAME bytes — decode∘encode is a
+// fixpoint after one normalization pass. Arbitrary field order and
+// whitespace in the input are allowed to normalize; the normal form is
+// not allowed to drift.
+func FuzzJournalRoundTrip(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteJournal(&buf, populated()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"journal":"flattree/recorder","version":1,"limit":4}` + "\n"))
+	f.Add([]byte(`{"journal":"flattree/recorder","version":1,"limit":2}
+{"note":"k","value":"v"}
+{"track":"t","total":1,"dropped":0}
+{"track":"t","seq":0,"t":1.5,"kind":"flow_start","id":3,"a":1,"b":2,"v":0.25,"label":"x"}
+`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j, err := DecodeJournal(data)
+		if err != nil {
+			return // rejected input is fine; crashing is not
+		}
+		enc1, err := j.Encode()
+		if err != nil {
+			t.Fatalf("decoded journal failed to encode: %v", err)
+		}
+		j2, err := DecodeJournal(enc1)
+		if err != nil {
+			t.Fatalf("canonical form rejected by decoder: %v\n%q", err, enc1)
+		}
+		enc2, err := j2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical form is not a fixpoint:\nenc1: %q\nenc2: %q", enc1, enc2)
+		}
+	})
+}

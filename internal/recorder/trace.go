@@ -1,0 +1,172 @@
+package recorder
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"flattree/internal/telemetry"
+)
+
+// The trace exporter renders a run as Chrome trace-viewer JSON (the
+// catapult trace_event format), loadable in chrome://tracing and
+// Perfetto. Two processes separate the two clocks the repo runs on:
+//
+//   - pid 1 "sim time": one named thread per recorder track, with
+//     sim-time events — instants for point events, duration slices for
+//     windows (reaction delays, conversion phases, completed flows).
+//   - pid 2 "wall clock": the telemetry span tree (experiment roots,
+//     conversion phases, solver spans) as duration slices.
+//
+// Both clocks are rendered in microseconds from their own zero, so the
+// tracks sit side by side without pretending the clocks are aligned.
+
+const (
+	simPid  = 1
+	wallPid = 2
+)
+
+// traceEvent is one catapult trace_event object.
+type traceEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// traceFile is the top-level JSON object format.
+type traceFile struct {
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+}
+
+const usec = 1e6 // seconds -> trace microseconds
+
+// WriteTrace renders the recorder's tracks (and, when snap is non-nil,
+// the telemetry span tree) as trace-viewer JSON. A nil recorder renders
+// only the wall-clock process.
+func WriteTrace(w io.Writer, r *Recorder, snap *telemetry.Snapshot) error {
+	tf := traceFile{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"format": journalMagic},
+	}
+	// The export timestamp is provenance about the trace file itself,
+	// not simulation logic — the journal (the replay-diff format) stays
+	// byte-deterministic; the trace viewer file is for humans.
+	//flatvet:clock trace metadata records export wall time, never sim state
+	tf.OtherData["exported_at"] = time.Now().UTC().Format(time.RFC3339)
+	for k, v := range r.Annotations() {
+		tf.OtherData["note:"+k] = v
+	}
+
+	tf.TraceEvents = append(tf.TraceEvents, metaEvent("process_name", simPid, 0, "sim time"))
+	for i, ts := range r.Snapshot() {
+		tid := i + 1
+		tf.TraceEvents = append(tf.TraceEvents, metaEvent("thread_name", simPid, tid, ts.Name))
+		for j, ev := range ts.Events {
+			tf.TraceEvents = append(tf.TraceEvents, simEvent(ev, tid, ts.First+uint64(j)))
+		}
+		if d := ts.Dropped(); d > 0 {
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: "dropped", Ph: "i", Ts: 0, Pid: simPid, Tid: tid, S: "t",
+				Args: map[string]interface{}{"events_dropped": d},
+			})
+		}
+	}
+
+	if snap != nil {
+		tf.TraceEvents = append(tf.TraceEvents, metaEvent("process_name", wallPid, 0, "wall clock"))
+		tf.TraceEvents = append(tf.TraceEvents, metaEvent("thread_name", wallPid, 1, "telemetry spans"))
+		tf.TraceEvents = append(tf.TraceEvents, metaEvent("thread_name", wallPid, 2, "modeled phases"))
+		for i := range snap.Spans {
+			appendSpan(&tf.TraceEvents, &snap.Spans[i])
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// simEvent maps one recorder event to a trace event. Windowed kinds
+// become duration slices; flow retirements render the whole flow as a
+// slice ending at the retire instant; everything else is an instant.
+func simEvent(ev Event, tid int, seq uint64) traceEvent {
+	out := traceEvent{Pid: simPid, Tid: tid, Args: map[string]interface{}{"seq": seq}}
+	name := ev.Kind.String()
+	switch ev.Kind {
+	case Reaction:
+		out.Ph, out.Ts, out.Dur = "X", ev.T*usec, ev.V*usec
+		out.Args["rules_deleted"], out.Args["rules_added"] = ev.A, ev.B
+	case ConversionPhase:
+		out.Ph, out.Ts, out.Dur = "X", ev.T*usec, ev.V*usec
+		if ev.Label != "" {
+			name = ev.Label
+		}
+		out.Args["count"] = ev.A
+	case FlowRetire:
+		out.Ph, out.Ts, out.Dur = "X", (ev.T-ev.V)*usec, ev.V*usec
+		name = fmt.Sprintf("flow %d", ev.ID)
+		out.Args["fct_seconds"], out.Args["reroutes"] = ev.V, ev.A
+	default:
+		out.Ph, out.Ts, out.S = "i", ev.T*usec, "t"
+		out.Args["id"] = ev.ID
+		if ev.A != 0 {
+			out.Args["a"] = ev.A
+		}
+		if ev.B != 0 {
+			out.Args["b"] = ev.B
+		}
+		if ev.V != 0 {
+			out.Args["v"] = ev.V
+		}
+		if ev.Label != "" {
+			out.Args["label"] = ev.Label
+		}
+	}
+	out.Name = name
+	return out
+}
+
+// appendSpan renders a telemetry span and its children as wall-clock
+// duration slices. Measured spans nest by wall time on one thread;
+// modeled spans (Record'ed durations that never elapsed) go on their
+// own thread, because a modeled duration can exceed its measured
+// parent and would break slice nesting.
+func appendSpan(out *[]traceEvent, s *telemetry.SpanSnapshot) {
+	tid := 1
+	if s.Modeled {
+		tid = 2
+	}
+	ev := traceEvent{
+		Name: s.Name, Ph: "X", Ts: s.Start * usec, Dur: s.DurationSeconds * usec,
+		Pid: wallPid, Tid: tid,
+	}
+	if len(s.Attrs) > 0 || s.Modeled {
+		ev.Args = make(map[string]interface{}, len(s.Attrs)+1)
+		for k, v := range s.Attrs {
+			ev.Args[k] = v
+		}
+		if s.Modeled {
+			ev.Args["modeled"] = true
+		}
+	}
+	*out = append(*out, ev)
+	for i := range s.Children {
+		appendSpan(out, &s.Children[i])
+	}
+}
+
+// metaEvent builds a catapult "M" metadata record naming a process or
+// thread.
+func metaEvent(kind string, pid, tid int, name string) traceEvent {
+	return traceEvent{
+		Name: kind, Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]interface{}{"name": name},
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"flattree/internal/graph"
 	"flattree/internal/parallel"
+	"flattree/internal/recorder"
 	"flattree/internal/telemetry"
 )
 
@@ -120,6 +121,11 @@ type IncrementalTable struct {
 	// rules tracks the installed per-switch rule counts, updated by each
 	// event's delta.
 	rules map[int]int
+	// rec, when set, receives one flight-recorder event per switch the
+	// event's delta touches, stamped with simTime (the caller's event
+	// clock — this table has no clock of its own).
+	rec     *recorder.Track
+	simTime float64
 }
 
 // adjKey is a normalized (low, high) switch pair identifying one bundle
@@ -156,6 +162,17 @@ func NewIncremental(base *Table) *IncrementalTable {
 	}
 	return it
 }
+
+// SetRecorder attaches a flight-recorder track; each Fail/Repair then
+// emits its per-switch rule delta as sim-time events (see SetSimTime).
+// A nil track disables emission.
+func (it *IncrementalTable) SetRecorder(tr *recorder.Track) { it.rec = tr }
+
+// SetSimTime positions the event clock used to stamp the next
+// Fail/Repair's recorder events. The table is driven by callers that
+// own the simulated clock (the churn engine), so the time arrives from
+// outside rather than from any wall clock.
+func (it *IncrementalTable) SetSimTime(t float64) { it.simTime = t }
 
 // View returns the installed table as a *Table sharing the incremental
 // state: it reflects every Fail/Repair applied so far and remains live
@@ -202,6 +219,7 @@ func (it *IncrementalTable) Fail(link int) RuleDelta {
 	dirty := sortedPairSet(it.curUse[adj])
 	delta := newRuleDelta()
 	it.recompute(dirty, delta)
+	it.emitDelta(delta)
 	it.finishEvent(len(dirty), start)
 	return delta
 }
@@ -232,8 +250,38 @@ func (it *IncrementalTable) Repair(link int) RuleDelta {
 	}
 	degraded := sortedCountKeys(it.baseBroken)
 	it.recompute(degraded, delta)
+	it.emitDelta(delta)
 	it.finishEvent(len(restored)+len(degraded), start)
 	return delta
+}
+
+// emitDelta records one RuleDelta event per touched switch (ascending
+// switch ID, so the track is deterministic) at the caller-set sim time.
+func (it *IncrementalTable) emitDelta(delta RuleDelta) {
+	if it.rec == nil || delta.Empty() {
+		return
+	}
+	seen := make(map[int]bool, len(delta.Adds)+len(delta.Dels))
+	switches := make([]int, 0, len(delta.Adds)+len(delta.Dels))
+	//flatvet:ordered keys are collected then sorted
+	for sw := range delta.Adds {
+		if !seen[sw] {
+			seen[sw] = true
+			switches = append(switches, sw)
+		}
+	}
+	//flatvet:ordered keys are collected then sorted
+	for sw := range delta.Dels {
+		if !seen[sw] {
+			seen[sw] = true
+			switches = append(switches, sw)
+		}
+	}
+	sort.Ints(switches)
+	for _, sw := range switches {
+		it.rec.Emit(recorder.Event{T: it.simTime, Kind: recorder.RuleDelta, ID: sw,
+			A: int64(delta.Adds[sw]), B: int64(delta.Dels[sw])})
+	}
 }
 
 // recompute re-runs banned-link Yen for the pairs on the shared worker

@@ -173,6 +173,7 @@ func (tb *Testbed) RunIPerf(schedule []ScheduleEntry, duration, interval float64
 	for t := 0.0; t <= duration+1e-9; t += interval {
 		// Apply any due conversions.
 		for next < len(schedule) && schedule[next].At <= t {
+			tb.Ctrl.SetRecordClock(schedule[next].At)
 			rep, _, err := tb.Convert(schedule[next].Mode)
 			if err != nil {
 				return nil, nil, err
