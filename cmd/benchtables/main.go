@@ -37,13 +37,14 @@ func main() {
 		epsilon  = flag.Float64("epsilon", 0.25, "LP approximation accuracy")
 		telemOut = flag.String("telemetry", "", "write the JSON telemetry snapshot to this file, or '-' for stdout")
 		workers  = flag.Int("workers", 0, "worker-pool size for parallel sections (0 = GOMAXPROCS); results are identical for any value")
+		fbmix    = flag.Int("fbmix-flows", 0, "fbmix_large: flows per workload (0 = scale default; 2500000 runs 10M flows total)")
 		record   = flag.String("record", "", "flight-recorder output base: writes <base>.trace.json (Perfetto), <base>.jsonl (journal), <base>.runinfo.json")
 		recLimit = flag.Int("record-limit", recorder.DefaultLimit, "flight-recorder ring capacity: events kept per track before the oldest are dropped")
 		runinfo  = flag.String("runinfo", "runinfo.json", "write the provenance manifest to this file, or '-' for stdout; empty disables (with -record the manifest goes to <base>.runinfo.json instead)")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
-	cfg := experiments.Config{Full: *full, Seed: *seed, Epsilon: *epsilon}
+	cfg := experiments.Config{Full: *full, Seed: *seed, Epsilon: *epsilon, FBMixFlows: *fbmix}
 	reg := telemetry.Enable()
 	var rec *recorder.Recorder
 	if *record != "" {
@@ -55,6 +56,7 @@ func main() {
 		"fig10", "table3", "fig11", "rules", "props", "cost", "hybrid-placement",
 		"ablation-wiring", "ablation-profile", "ablation-sidewiring", "ablation-k",
 		"ablation-failures", "churn", "ablation-packet", "ablation-packet-fct", "ablation-gradual",
+		"fbmix_large",
 	}
 	failures := 0
 	grand := time.Now()

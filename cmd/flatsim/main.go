@@ -46,6 +46,7 @@ func main() {
 		promOut   = flag.String("prom", "", "write Prometheus text-exposition metrics to this file, or '-' for stdout")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for live profiling")
 		workers   = flag.Int("workers", 0, "worker-pool size for parallel sections (0 = GOMAXPROCS); results are identical for any value")
+		fbmix     = flag.Int("fbmix-flows", 0, "fbmix_large: flows per workload (0 = scale default; 2500000 runs 10M flows total)")
 		record    = flag.String("record", "", "flight-recorder output base: writes <base>.trace.json (Perfetto), <base>.jsonl (journal), <base>.runinfo.json")
 		recLimit  = flag.Int("record-limit", recorder.DefaultLimit, "flight-recorder ring capacity: events kept per track before the oldest are dropped")
 		runinfo   = flag.String("runinfo", "runinfo.json", "write the provenance manifest to this file, or '-' for stdout; empty disables (with -record the manifest goes to <base>.runinfo.json instead)")
@@ -88,7 +89,7 @@ func main() {
 	// Experiment tables go to stdout; timing and errors go to stderr, so
 	// stdout is byte-identical run to run (and across -workers values) at
 	// a fixed seed.
-	cfg := experiments.Config{Full: *full, Seed: *seed, Epsilon: *epsilon}
+	cfg := experiments.Config{Full: *full, Seed: *seed, Epsilon: *epsilon, FBMixFlows: *fbmix}
 	if *csvDir == "" && len(names) > 1 {
 		failed := false
 		for _, oc := range experiments.RunAll(names, cfg) {

@@ -31,6 +31,10 @@ type Config struct {
 	Seed int64
 	// Epsilon is the LP approximation accuracy (default 0.1).
 	Epsilon float64
+	// FBMixFlows overrides the per-workload flow count of the fbmix_large
+	// streaming study (0 keeps the scale defaults: 5k reduced, 250k full).
+	// Set to 2_500_000 for the 10M-flow run across the four workloads.
+	FBMixFlows int
 }
 
 func (c Config) epsilon() float64 {

@@ -483,6 +483,7 @@ func TestRegistrySweep(t *testing.T) {
 		"ablation-packet":     "packet/fluid",
 		"ablation-packet-fct": "median FCT",
 		"ablation-gradual":    "bandwidth floor",
+		"fbmix_large":         "~p99 ms",
 	}
 	for _, name := range Names() {
 		if skip[name] {

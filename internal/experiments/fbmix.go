@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"flattree/internal/core"
+	"flattree/internal/flowsim"
+	"flattree/internal/metrics"
+	"flattree/internal/recorder"
+	"flattree/internal/routing"
+	"flattree/internal/traffic"
+)
+
+// The fbmix_large experiment is the simulator-scale study behind the
+// struct-of-arrays flowsim core: the four Facebook workloads of §5.2
+// replayed back to back through Sim.RunStream on flat-tree Clos mode with
+// ECMP TCP, at flow counts far past what the figure experiments need
+// (tens of thousands by default, tens of millions via Config.FBMixFlows
+// or flatsim -fbmix-flows). Flows are drawn from the streaming trace
+// generators and retired into a fixed-size log histogram, so memory
+// tracks the peak concurrent flow count instead of the trace length.
+
+// FBMixRow is one workload's outcome.
+type FBMixRow struct {
+	Workload string
+	// Flows is the number of flows simulated; Completed and Unfinished
+	// partition it (no horizon is set, so Unfinished stays zero unless a
+	// workload is cut off by future extensions).
+	Flows, Completed, Unfinished int
+	// MeanMs is the exact mean FCT in milliseconds. P50Ms and P99Ms are
+	// read from a 1024-bucket log histogram — deterministic, but
+	// quantized to about 2% resolution, rendered as "~p50/~p99".
+	MeanMs, P50Ms, P99Ms float64
+}
+
+// fctHist accumulates flow completion times into log-spaced buckets:
+// fctBuckets buckets over [fctFloor, fctFloor*10^fctDecades) seconds,
+// i.e. 100 ns to 1000 s at ~2.3% per bucket. Exact mean, approximate
+// quantiles, O(1) memory — the 10M-flow runs never hold per-flow data.
+type fctHist struct {
+	counts [fctBuckets]int64
+	n      int64
+	sum    float64
+}
+
+const (
+	fctBuckets = 1024
+	fctFloor   = 1e-7
+	fctDecades = 10
+)
+
+func (h *fctHist) add(fct float64) {
+	h.n++
+	h.sum += fct
+	idx := 0
+	if fct > fctFloor {
+		idx = int(math.Log10(fct/fctFloor) * fctBuckets / fctDecades)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= fctBuckets {
+			idx = fctBuckets - 1
+		}
+	}
+	h.counts[idx]++
+}
+
+func (h *fctHist) mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// quantile returns the geometric midpoint of the bucket holding the
+// q-quantile observation.
+func (h *fctHist) quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.n-1))
+	cum := int64(0)
+	for idx, c := range h.counts {
+		cum += c
+		if cum > rank {
+			return fctFloor * math.Pow(10, (float64(idx)+0.5)*fctDecades/fctBuckets)
+		}
+	}
+	return fctFloor * math.Pow(10, fctDecades)
+}
+
+// FBMixWorkloads lists the four replayed traces in run order.
+func FBMixWorkloads() []string { return []string{"hadoop-1", "hadoop-2", "web", "cache"} }
+
+// fbmixArrivalRate is the offered load in flows per second; the trace
+// duration scales with the flow count so the concurrent flow population
+// (and therefore memory and per-event cost) stays roughly constant as
+// the trace length grows. fbmixSizeScale shrinks the published flow
+// sizes to keep the fabric below saturation at this rate: unlike the
+// contention studies (fig8 scales sizes UP), this experiment measures
+// simulator throughput, and an overloaded fabric grows the concurrent
+// population — and with it the per-event allocation cost — without
+// bound.
+const (
+	fbmixArrivalRate = 20_000.0
+	fbmixSizeScale   = 0.25
+)
+
+// fbmixFlows resolves the per-workload flow count.
+func (c Config) fbmixFlows() int {
+	if c.FBMixFlows > 0 {
+		return c.FBMixFlows
+	}
+	if c.Full {
+		return 250_000
+	}
+	return 5_000
+}
+
+// FBMix replays the four workloads through the streaming simulator on
+// flat-tree Clos mode (ECMP single-path TCP, the conventional deployment)
+// and reports FCT statistics per workload.
+func (c Config) FBMix() ([]FBMixRow, error) {
+	base := "mini-1"
+	if c.Full {
+		base = "topo-1"
+	}
+	cp, err := c.paramsByName(base)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := core.New(cp, flatTreeOptions(cp))
+	if err != nil {
+		return nil, err
+	}
+	nw.SetMode(core.ModeClos)
+	t := nw.Realize().Topo
+	table := routing.BuildKShortestCached(t, 4)
+	caps := routing.DirectedCaps(t.G)
+	servers := t.Servers()
+	perRack := cp.ServersPerEdge
+	racksPerPod := cp.EdgesPerPod
+	rec := recorder.Default()
+
+	nFlows := c.fbmixFlows()
+	duration := float64(nFlows) / fbmixArrivalRate
+	rows := make([]FBMixRow, 0, len(FBMixWorkloads()))
+	for _, w := range FBMixWorkloads() {
+		// Both trace generators stream flows in arrival order; hadoop-1's
+		// coflow expansion emits 8 server flows per rack-to-rack transfer.
+		var next func() (traffic.Flow, bool)
+		planned := nFlows
+		switch w {
+		case "hadoop-1":
+			coflows := nFlows / 8
+			if coflows < 1 {
+				coflows = 1
+			}
+			st := traffic.NewHadoop1Stream(len(servers), perRack, coflows, fbmixSizeScale*traffic.MB, duration, c.Seed+11)
+			planned = st.Len()
+			next = st.Next
+		default:
+			spec, err := traffic.FacebookSpec(w, len(servers), perRack, racksPerPod, nFlows, c.Seed+13)
+			if err != nil {
+				return nil, err
+			}
+			spec.Duration = duration
+			spec.SizeMedianGbit *= fbmixSizeScale
+			st, err := traffic.NewStream(spec)
+			if err != nil {
+				return nil, err
+			}
+			planned = st.Len()
+			next = st.Next
+		}
+
+		fi := 0
+		pull := func() (flowsim.ConnSpec, bool) {
+			f, ok := next()
+			if !ok {
+				return flowsim.ConnSpec{}, false
+			}
+			p, ok := table.ECMPServerPath(servers[f.Src], servers[f.Dst], routing.FlowHash(f.Src, f.Dst, fi))
+			fi++
+			if !ok {
+				// Clos mode always routes server pairs; an unroutable pair
+				// is a construction bug, surfaced via a no-path spec which
+				// Run rejects (non-graceful).
+				return flowsim.ConnSpec{Bits: f.Bits, Arrival: f.Arrival}, true
+			}
+			return flowsim.ConnSpec{
+				Paths:   [][]int{routing.DirectedLinkIDs(t.G, p)},
+				Bits:    f.Bits,
+				Arrival: f.Arrival,
+			}, true
+		}
+
+		var hist fctHist
+		unfinished := 0
+		sim := flowsim.NewSim(caps, nil)
+		sim.Rec = rec.Track("fbmix/" + w + "/sim")
+		err = sim.RunStream(pull, func(id int, res flowsim.ConnResult) {
+			if math.IsInf(res.Finish, 1) {
+				unfinished++
+				return
+			}
+			hist.add(res.FCT())
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fbmix %s: %w", w, err)
+		}
+		rows = append(rows, FBMixRow{
+			Workload:   w,
+			Flows:      planned,
+			Completed:  int(hist.n),
+			Unfinished: unfinished,
+			MeanMs:     hist.mean() * 1000,
+			P50Ms:      hist.quantile(0.5) * 1000,
+			P99Ms:      hist.quantile(0.99) * 1000,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFBMix formats the streaming-scale study.
+func RenderFBMix(rows []FBMixRow) string {
+	t := &metrics.Table{Header: []string{
+		"workload", "flows", "completed", "unfinished", "mean ms", "~p50 ms", "~p99 ms",
+	}}
+	for _, r := range rows {
+		t.Add(r.Workload, r.Flows, r.Completed, r.Unfinished, r.MeanMs, r.P50Ms, r.P99Ms)
+	}
+	return t.String()
+}

@@ -210,6 +210,13 @@ var registry = map[string]func(Config) (string, error){
 		}
 		return RenderChurn(rows), nil
 	},
+	"fbmix_large": func(c Config) (string, error) {
+		rows, err := c.FBMix()
+		if err != nil {
+			return "", err
+		}
+		return RenderFBMix(rows), nil
+	},
 	"cost": func(c Config) (string, error) {
 		params := c.baseParams()
 		return cost.Table(params, cost.DefaultModel(), func(p topo.ClosParams) (*core.Network, error) {

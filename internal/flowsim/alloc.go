@@ -14,8 +14,6 @@ package flowsim
 import (
 	"fmt"
 	"math"
-
-	"flattree/internal/telemetry"
 )
 
 // Subflow is one path of one connection in the allocator's view.
@@ -32,111 +30,55 @@ type Subflow struct {
 // MaxMinRates computes the weighted max-min fair rate of every subflow by
 // progressive filling: all subflows grow proportionally to their weights
 // until a link saturates; subflows through saturated links freeze; repeat.
-// caps holds per-link capacities. Subflows with no links (same-host) or
-// zero weight get rate 0 from this allocator's perspective... zero-weight
-// subflows are rejected.
+// caps holds per-link capacities (NaN or negative entries are rejected).
+// Subflows with no links (same-host) get rate 0 from this allocator's
+// perspective; zero-weight subflows are rejected.
+//
+// The computation runs on the struct-of-arrays core (soa.go), admitting
+// each subflow as its own single-path connection; the retained seed
+// allocator (maxMinRatesRef) pins its output bit-for-bit.
 func MaxMinRates(caps []float64, subs []Subflow) ([]float64, error) {
 	rates := make([]float64, len(subs))
 	if len(subs) == 0 {
 		return rates, nil
 	}
-	remaining := append([]float64(nil), caps...)
-	active := make([]bool, len(subs))
-	// linkWeight[l] = total weight of active subflows crossing l;
-	// linkCount[l] is the exact active-subflow count — the authoritative
-	// emptiness test (accumulated floating-point residue in linkWeight
-	// must never keep a link "loaded" after its subflows all froze).
-	linkWeight := make([]float64, len(caps))
-	linkCount := make([]int, len(caps))
-	linkSubs := make([][]int, len(caps))
-	nActive := 0
+	if err := validateCaps(caps); err != nil {
+		return nil, err
+	}
+	occ := make([]int32, len(caps))
+	nArena := 0
 	for i, s := range subs {
-		if s.Weight <= 0 {
+		if math.IsNaN(s.Weight) || s.Weight <= 0 {
 			return nil, fmt.Errorf("flowsim: subflow %d has weight %v", i, s.Weight)
 		}
-		if len(s.Links) == 0 {
-			// Loopback path: unconstrained by the fabric; the caller
-			// grants these the local rate (see ConnRates).
-			continue
-		}
-		active[i] = true
-		nActive++
 		for _, l := range s.Links {
 			if l < 0 || l >= len(caps) {
 				return nil, fmt.Errorf("flowsim: subflow %d references link %d of %d", i, l, len(caps))
 			}
-			linkWeight[l] += s.Weight
-			linkCount[l]++
-			linkSubs[l] = append(linkSubs[l], i)
+			occ[l]++
 		}
+		nArena += len(s.Links)
 	}
-
-	level := 0.0 // current water level (rate per unit weight)
-	rounds := int64(0)
-	for nActive > 0 {
-		rounds++
-		// Find the link that saturates next: smallest additional level
-		// Δ = remaining[l] / linkWeight[l] over links with active load.
-		bottleneck := -1
-		best := math.Inf(1)
-		for l := range caps {
-			if linkCount[l] == 0 {
-				continue
-			}
-			if d := remaining[l] / linkWeight[l]; d < best {
-				best = d
-				bottleneck = l
-			}
+	st := newAllocState(caps, len(subs))
+	st.reserveBulk(len(subs), nArena, occ)
+	run := make([]int32, len(subs))
+	var path [1][]int
+	for i, s := range subs {
+		path[0] = s.Links
+		// A single path splits the weight by 1: the per-subflow weight is
+		// s.Weight exactly, as the reference uses it.
+		if err := st.admit(i, i, s.Weight, path[:]); err != nil {
+			return nil, err
 		}
-		if bottleneck < 0 {
-			break
-		}
-		level += best
-		// Drain every loaded link by the growth of this round.
-		for l := range caps {
-			if linkCount[l] > 0 {
-				remaining[l] -= best * linkWeight[l]
-				if remaining[l] < 0 {
-					remaining[l] = 0
-				}
-			}
-		}
-		// Freeze subflows crossing the bottleneck (and any other link
-		// that just hit zero). Freezing the bottleneck's subflows is
-		// unconditional, guaranteeing progress every round.
-		frozeAny := false
-		for l := range caps {
-			if linkCount[l] == 0 {
-				continue
-			}
-			if l != bottleneck && remaining[l] > 1e-12 {
-				continue
-			}
-			for _, si := range linkSubs[l] {
-				if !active[si] {
-					continue
-				}
-				active[si] = false
-				nActive--
-				frozeAny = true
-				rates[si] = subs[si].Weight * level
-				for _, sl := range subs[si].Links {
-					linkWeight[sl] -= subs[si].Weight
-					linkCount[sl]--
-					if linkCount[sl] == 0 {
-						linkWeight[sl] = 0
-					}
-				}
-			}
-		}
-		if !frozeAny {
-			// Defensive: cannot happen (the bottleneck always freezes),
-			// but never spin.
-			break
-		}
+		run[i] = int32(i)
 	}
-	telemetry.C("flowsim_allocations_total").Inc()
-	telemetry.C("flowsim_alloc_rounds_total").Add(rounds)
+	st.allocate(run)
+	for i, s := range subs {
+		if len(s.Links) == 0 {
+			continue // loopback: rate 0 here, localRate via ConnRates
+		}
+		rates[i] = st.sfRate[st.subOff[i]]
+	}
 	return rates, nil
 }
 

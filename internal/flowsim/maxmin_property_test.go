@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"flattree/internal/parallel"
 )
 
 // randomScenario builds a random fabric and subflow set. Everything is
@@ -74,6 +76,120 @@ func TestMaxMinRatesPermutationInvariant(t *testing.T) {
 // by some saturated link where it holds at least its weighted fair share —
 // i.e. no subflow's rate can grow without shrinking a share that is not
 // larger than its own.
+// largeScenario builds a fabric and subflow population big enough to
+// engage the sharded allocator (loaded links >= shardMinLinks): 8k links
+// with heterogeneous capacities so saturation staggers over many
+// progressive-filling rounds, and 100k+ subflows of mixed weights.
+func largeScenario(seed int64) ([]float64, []Subflow) {
+	rng := rand.New(rand.NewSource(seed))
+	nLinks := 2 * shardMinLinks
+	caps := make([]float64, nLinks)
+	for l := range caps {
+		caps[l] = 1 + 99*rng.Float64()
+	}
+	nSubs := 100_000 + rng.Intn(20_000)
+	subs := make([]Subflow, nSubs)
+	for i := range subs {
+		hops := 2 + rng.Intn(3)
+		links := make([]int, hops)
+		for h := range links {
+			links[h] = rng.Intn(nLinks)
+		}
+		w := 1.0
+		if i%3 == 0 {
+			w = 1.0 / float64(1+rng.Intn(8))
+		}
+		subs[i] = Subflow{Conn: i, Links: links, Weight: w}
+	}
+	return caps, subs
+}
+
+// TestMaxMinLargeScaleInvariants checks the defining weighted max-min
+// properties at 100k+ subflows with linear-time checkers: no link over
+// capacity (bottleneck saturation is what the allocator's rounds drain
+// toward), and every subflow is blocked by a saturated link on which its
+// normalized level is maximal (Bertsekas–Gallager weighted fairness).
+// The small-scenario test below does the same with an O(n^2) oracle;
+// this one proves the invariants survive the scale the SoA core exists
+// for — and, because 8k links stay loaded for thousands of rounds, it
+// runs the sharded bottleneck search in anger.
+func TestMaxMinLargeScaleInvariants(t *testing.T) {
+	const tol = 1e-6
+	caps, subs := largeScenario(1)
+	rates, err := MaxMinRates(caps, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := make([]float64, len(caps))
+	maxLevel := make([]float64, len(caps))
+	for i, s := range subs {
+		level := rates[i] / s.Weight
+		for _, l := range s.Links {
+			load[l] += rates[i]
+			if level > maxLevel[l] {
+				maxLevel[l] = level
+			}
+		}
+	}
+	for l := range caps {
+		if load[l] > caps[l]*(1+tol)+tol {
+			t.Fatalf("link %d load %.12g exceeds capacity %.12g", l, load[l], caps[l])
+		}
+	}
+	blockedCount := 0
+	for i, s := range subs {
+		level := rates[i] / s.Weight
+		blocked := false
+		for _, l := range s.Links {
+			if load[l] >= caps[l]*(1-tol)-tol && level >= maxLevel[l]*(1-tol) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			t.Fatalf("subflow %d (rate %.12g, level %.12g) has no bottleneck link", i, rates[i], level)
+		}
+		blockedCount++
+	}
+	if blockedCount != len(subs) {
+		t.Fatalf("checked %d of %d subflows", blockedCount, len(subs))
+	}
+}
+
+// TestMaxMinLargeScaleWorkerInvariance runs the sharded allocator on the
+// large scenario with the process pool pinned to 1 and to 8 workers and
+// requires bit-identical rates — the determinism contract of the sharded
+// bottleneck search (first strict minimum, ascending shard reduction) —
+// and pins both against the retained reference allocator. Runs under
+// -race in CI, so the shard fan-out is also checked for data races.
+func TestMaxMinLargeScaleWorkerInvariance(t *testing.T) {
+	defer parallel.SetDefaultWorkers(0)
+	caps, subs := largeScenario(2)
+	parallel.SetDefaultWorkers(1)
+	one, err := MaxMinRates(caps, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetDefaultWorkers(8)
+	eight, err := MaxMinRates(caps, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetDefaultWorkers(0)
+	want, err := maxMinRatesRef(caps, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(one[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("subflow %d: workers=1 rate %.17g, reference %.17g", i, one[i], want[i])
+		}
+		if math.Float64bits(eight[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("subflow %d: workers=8 rate %.17g, reference %.17g", i, eight[i], want[i])
+		}
+	}
+}
+
 func TestMaxMinRatesIsMaxMin(t *testing.T) {
 	const tol = 1e-7
 	for seed := int64(1); seed <= 30; seed++ {

@@ -54,7 +54,8 @@ type TopoEvent struct {
 	// Time is when the change takes effect, in simulation seconds.
 	Time float64
 	// SetCaps overwrites the capacity of the given directed link slots
-	// (see routing.DirectedLinkIDs); zero fails a direction.
+	// (see routing.DirectedLinkIDs); zero fails a direction. NaN and
+	// negative values are rejected when the event applies.
 	SetCaps map[int]float64
 	// Reroute replaces the path sets of connections by index. The new set
 	// applies to running connections and to ones that have not arrived
@@ -64,6 +65,13 @@ type TopoEvent struct {
 }
 
 // Sim is an event-driven flow-level simulation over a fixed topology.
+//
+// The event loop and allocator run on a struct-of-arrays core (soa.go):
+// dense per-connection and per-subflow arrays, a flat link arena, and
+// per-link membership maintained incrementally across events. The seed
+// implementation is retained in reference.go and the differential suite
+// pins the two cores to byte-identical results, so Run's output is the
+// seed's output — only faster.
 type Sim struct {
 	caps  []float64
 	specs []ConnSpec
@@ -100,6 +108,9 @@ type Sim struct {
 }
 
 // NewSim creates a simulation over links with the given capacities.
+// Capacities are validated when the simulation runs: NaN or negative
+// entries fail Run with a descriptive error instead of propagating NaN
+// rates through the allocator.
 func NewSim(caps []float64, specs []ConnSpec) *Sim {
 	return &Sim{caps: caps, specs: specs, LocalRate: 10}
 }
@@ -128,17 +139,43 @@ func (s *Sim) retryBounds() (base, max float64) {
 	return base, max
 }
 
-// sortedActive returns the active connection IDs in ascending order. Every
-// per-event loop iterates this slice instead of the active map, so float
-// accumulation order — and therefore output bytes — are independent of map
-// layout.
-func sortedActive(active map[int]bool) []int {
-	ids := make([]int, 0, len(active))
-	for c := range active {
-		ids = append(ids, c)
+// validateSpec rejects the spec values the seed core silently accepted
+// and then looped or NaN-poisoned on: NaN sizes and weights, negative
+// weights, non-finite arrivals.
+func validateSpec(i int, sp ConnSpec, graceful bool) error {
+	if len(sp.Paths) == 0 && !graceful {
+		return fmt.Errorf("flowsim: connection %d has no paths", i)
 	}
-	sort.Ints(ids)
-	return ids
+	if math.IsNaN(sp.Bits) || sp.Bits <= 0 {
+		return fmt.Errorf("flowsim: connection %d has size %v", i, sp.Bits)
+	}
+	if math.IsNaN(sp.Weight) || sp.Weight < 0 {
+		return fmt.Errorf("flowsim: connection %d has weight %v", i, sp.Weight)
+	}
+	if math.IsNaN(sp.Arrival) || math.IsInf(sp.Arrival, 0) {
+		return fmt.Errorf("flowsim: connection %d has arrival %v", i, sp.Arrival)
+	}
+	return nil
+}
+
+// mergeIDs merges sorted batch into sorted ids using scratch as the
+// destination, returning the merged slice and the now-free old backing
+// array. IDs are unique across the two inputs.
+func mergeIDs(ids, batch, scratch []int32) (merged, free []int32) {
+	out := scratch[:0]
+	i, j := 0, 0
+	for i < len(ids) && j < len(batch) {
+		if ids[i] < batch[j] {
+			out = append(out, ids[i])
+			i++
+		} else {
+			out = append(out, batch[j])
+			j++
+		}
+	}
+	out = append(out, ids[i:]...)
+	out = append(out, batch[j:]...)
+	return out, ids[:0]
 }
 
 // Run executes the simulation and returns per-connection results in spec
@@ -146,15 +183,15 @@ func sortedActive(active map[int]bool) []int {
 func (s *Sim) Run() ([]ConnResult, error) {
 	n := len(s.specs)
 	results := make([]ConnResult, n)
+	if err := validateCaps(s.caps); err != nil {
+		return nil, err
+	}
 	remaining := make([]float64, n)
 	paths := make([][][]int, n)
 	order := make([]int, n)
 	for i, sp := range s.specs {
-		if len(sp.Paths) == 0 && !s.Graceful {
-			return nil, fmt.Errorf("flowsim: connection %d has no paths", i)
-		}
-		if sp.Bits <= 0 {
-			return nil, fmt.Errorf("flowsim: connection %d has size %v", i, sp.Bits)
+		if err := validateSpec(i, sp, s.Graceful); err != nil {
+			return nil, err
 		}
 		results[i] = ConnResult{Start: sp.Arrival, Finish: math.Inf(1), Bits: sp.Bits}
 		remaining[i] = sp.Bits
@@ -165,11 +202,26 @@ func (s *Sim) Run() ([]ConnResult, error) {
 		return s.specs[order[a]].Arrival < s.specs[order[b]].Arrival
 	})
 
-	// Capacities are private: topology events mutate them mid-run.
+	// Capacities are private: topology events mutate them mid-run. The
+	// allocator core aliases this slice, so SetCaps writes land without
+	// a rebuild.
 	caps := append([]float64(nil), s.caps...)
 	retryBase, retryMax := s.retryBounds()
+	st := newAllocState(caps, n)
 
-	active := make(map[int]bool)
+	// Dense active set: sorted connection IDs plus a membership flag.
+	// Arrivals merge in sorted batches, retirements compact in place —
+	// no per-event re-sort, no map iteration anywhere.
+	activeIDs := make([]int32, 0, 64)
+	idScratch := make([]int32, 0, 64)
+	admitBatch := make([]int32, 0, 16)
+	isActive := make([]bool, n)
+	run := make([]int32, 0, 64)
+	runRates := make([]float64, 0, 64)
+	var connRates []float64 // full per-connection vector, Sample only
+	if s.Sample != nil {
+		connRates = make([]float64, n)
+	}
 	stalled := make([]bool, n)  // parked: excluded from allocation
 	retrying := make([]bool, n) // woken for a backoff probe this instant
 	backoff := make([]float64, n)
@@ -201,7 +253,7 @@ func (s *Sim) Run() ([]ConnResult, error) {
 	}
 	// stall parks connection c at time now: a fresh stall starts the
 	// backoff at its base; a failed retry probe doubles it up to the cap.
-	stall := func(c int, now float64) {
+	stall := func(c int32, now float64) {
 		if stalled[c] {
 			return
 		}
@@ -214,7 +266,7 @@ func (s *Sim) Run() ([]ConnResult, error) {
 		} else {
 			backoff[c] = retryBase
 			stalls.Inc()
-			s.Rec.Emit(recorder.Event{T: now, Kind: recorder.FlowStall, ID: c})
+			s.Rec.Emit(recorder.Event{T: now, Kind: recorder.FlowStall, ID: int(c)})
 		}
 		retrying[c] = false
 		nextRetry[c] = now + backoff[c]
@@ -230,6 +282,9 @@ func (s *Sim) Run() ([]ConnResult, error) {
 			for id, cp := range ev.SetCaps {
 				if id < 0 || id >= len(caps) {
 					return nil, fmt.Errorf("flowsim: event at t=%v sets capacity of link %d of %d", ev.Time, id, len(caps))
+				}
+				if math.IsNaN(cp) || cp < 0 {
+					return nil, fmt.Errorf("flowsim: event at t=%v sets link %d capacity %v (want >= 0)", ev.Time, id, cp)
 				}
 				caps[id] = cp
 			}
@@ -249,28 +304,43 @@ func (s *Sim) Run() ([]ConnResult, error) {
 					continue // already completed
 				}
 				paths[c] = ev.Reroute[c]
+				if isActive[c] {
+					if err := st.setPaths(c, c, s.specs[c].Weight, paths[c]); err != nil {
+						return nil, err
+					}
+				}
 				results[c].Reroutes++
 				reroutes.Inc()
 				s.Rec.Emit(recorder.Event{T: ev.Time, Kind: recorder.FlowReroute, ID: c, A: int64(len(paths[c]))})
 			}
 		}
 		// Admit arrivals at the current time.
+		admitBatch = admitBatch[:0]
 		for nextArrival < n && s.specs[order[nextArrival]].Arrival <= t+1e-12 {
 			c := order[nextArrival]
-			active[c] = true
+			if err := st.admit(c, c, s.specs[c].Weight, paths[c]); err != nil {
+				return nil, err
+			}
+			isActive[c] = true
+			admitBatch = append(admitBatch, int32(c))
 			nextArrival++
 			s.Rec.Emit(recorder.Event{T: s.specs[c].Arrival, Kind: recorder.FlowStart, ID: c, A: int64(len(paths[c]))})
 		}
+		if len(admitBatch) > 0 {
+			// order is stable by arrival, not by ID: same-instant batches
+			// can arrive out of ID order.
+			sort.Slice(admitBatch, func(a, b int) bool { return admitBatch[a] < admitBatch[b] })
+			activeIDs, idScratch = mergeIDs(activeIDs, admitBatch, idScratch)
+		}
 		// Wake stalled connections whose retry timer fired; the allocation
 		// below decides whether the probe succeeds.
-		act := sortedActive(active)
-		for _, c := range act {
+		for _, c := range activeIDs {
 			if stalled[c] && nextRetry[c] <= t+1e-12 {
 				stalled[c] = false
 				retrying[c] = true
 			}
 		}
-		if len(active) == 0 {
+		if len(activeIDs) == 0 {
 			if nextArrival >= n {
 				break
 			}
@@ -286,17 +356,18 @@ func (s *Sim) Run() ([]ConnResult, error) {
 			continue
 		}
 		// Allocate rates for the running (non-stalled) set.
-		run := make([]int, 0, len(act))
-		for _, c := range act {
+		run = run[:0]
+		for _, c := range activeIDs {
 			if !stalled[c] {
 				run = append(run, c)
 			}
 		}
-		connRates, err := s.allocate(caps, run, paths)
-		if err != nil {
-			return nil, err
+		st.allocate(run)
+		runRates = runRates[:0]
+		for _, c := range run {
+			runRates = append(runRates, st.rate(int(c), s.LocalRate))
 		}
-		s.Rec.Emit(recorder.Event{T: t, Kind: recorder.AllocRound, A: int64(len(run)), B: int64(len(act))})
+		s.Rec.Emit(recorder.Event{T: t, Kind: recorder.AllocRound, A: int64(len(run)), B: int64(len(activeIDs))})
 		// Graceful degradation: finite connections at zero rate lost every
 		// path. While future events could revive them they park and retry;
 		// once no event or arrival remains, nothing can — park them for
@@ -305,17 +376,17 @@ func (s *Sim) Run() ([]ConnResult, error) {
 		if s.Graceful {
 			noFuture := nextArrival >= n && nextEvent >= len(s.events)
 			starved := false
-			for _, c := range run {
+			for ri, c := range run {
 				if math.IsInf(remaining[c], 1) {
 					continue
 				}
-				if connRates[c] <= 1e-15 {
+				if runRates[ri] <= 1e-15 {
 					if noFuture {
 						stalled[c] = true
 						retrying[c] = false
 						nextRetry[c] = math.Inf(1)
 						disconnected.Inc()
-						s.Rec.Emit(recorder.Event{T: t, Kind: recorder.FlowDisconnect, ID: c})
+						s.Rec.Emit(recorder.Event{T: t, Kind: recorder.FlowDisconnect, ID: int(c)})
 					} else {
 						stall(c, t)
 					}
@@ -329,6 +400,12 @@ func (s *Sim) Run() ([]ConnResult, error) {
 			}
 		}
 		if s.Sample != nil {
+			for i := range connRates {
+				connRates[i] = 0
+			}
+			for ri, c := range run {
+				connRates[c] = runRates[ri]
+			}
 			s.Sample(t, connRates)
 		}
 		// Next event: earliest completion, arrival, topology event, or
@@ -340,14 +417,14 @@ func (s *Sim) Run() ([]ConnResult, error) {
 		if nextEvent < len(s.events) && s.events[nextEvent].Time < nextT {
 			nextT = s.events[nextEvent].Time
 		}
-		for _, c := range act {
+		for _, c := range activeIDs {
 			if stalled[c] && nextRetry[c] < nextT {
 				nextT = nextRetry[c]
 			}
 		}
-		completing := -1
-		for _, c := range run {
-			r := connRates[c]
+		completing := int32(-1)
+		for ri, c := range run {
+			r := runRates[ri]
 			if math.IsInf(remaining[c], 1) || r <= 1e-15 {
 				continue
 			}
@@ -359,10 +436,10 @@ func (s *Sim) Run() ([]ConnResult, error) {
 		if s.Horizon > 0 && nextT > s.Horizon {
 			// Stop at the horizon; account progress (and stall) up to it.
 			dt := s.Horizon - t
-			for _, c := range run {
-				remaining[c] -= connRates[c] * dt
+			for ri, c := range run {
+				remaining[c] -= runRates[ri] * dt
 			}
-			for _, c := range act {
+			for _, c := range activeIDs {
 				if stalled[c] {
 					results[c].StallTime += dt
 				}
@@ -370,19 +447,21 @@ func (s *Sim) Run() ([]ConnResult, error) {
 			return finish(), nil
 		}
 		if math.IsInf(nextT, 1) {
-			// Only persistent or starved flows remain.
-			for _, c := range act {
-				if connRates[c] <= 1e-15 && !math.IsInf(remaining[c], 1) && !stalled[c] {
+			// Only persistent or starved flows remain. Stalled
+			// connections sit at rate zero by construction, so the
+			// starvation check only concerns the running set.
+			for ri, c := range run {
+				if runRates[ri] <= 1e-15 && !math.IsInf(remaining[c], 1) {
 					return nil, fmt.Errorf("flowsim: connection %d starved (disconnected path set?)", c)
 				}
 			}
 			return finish(), nil
 		}
 		dt := nextT - t
-		for _, c := range run {
-			remaining[c] -= connRates[c] * dt
+		for ri, c := range run {
+			remaining[c] -= runRates[ri] * dt
 		}
-		for _, c := range act {
+		for _, c := range activeIDs {
 			if stalled[c] {
 				results[c].StallTime += dt
 			}
@@ -390,66 +469,60 @@ func (s *Sim) Run() ([]ConnResult, error) {
 		t = nextT
 		// Retire completed connections (the chosen one plus any that hit
 		// zero within tolerance).
+		anyRetired := false
 		for _, c := range run {
-			if !active[c] {
+			if !isActive[c] {
 				continue
 			}
 			if !math.IsInf(remaining[c], 1) && (c == completing || remaining[c] <= 1e-6) {
 				results[c].Finish = t
-				delete(active, c)
+				isActive[c] = false
+				st.retire(int(c), int(c))
+				anyRetired = true
 				completed.Inc()
 				fct.Observe(results[c].FCT())
-				s.Rec.Emit(recorder.Event{T: t, Kind: recorder.FlowRetire, ID: c,
+				s.Rec.Emit(recorder.Event{T: t, Kind: recorder.FlowRetire, ID: int(c),
 					V: results[c].FCT(), A: int64(results[c].Reroutes)})
 			}
 		}
+		if anyRetired {
+			kept := activeIDs[:0]
+			for _, c := range activeIDs {
+				if isActive[c] {
+					kept = append(kept, c)
+				}
+			}
+			activeIDs = kept
+		}
 	}
 	return finish(), nil
-}
-
-// allocate computes per-connection rates for the given connection IDs over
-// the current capacities and path sets. IDs must be sorted ascending: the
-// subflow build order fixes the allocator's float accumulation order.
-func (s *Sim) allocate(caps []float64, ids []int, paths [][][]int) ([]float64, error) {
-	var subs []Subflow
-	for _, c := range ids {
-		sp := s.specs[c]
-		pl := paths[c]
-		if len(pl) == 0 {
-			continue // disconnected: no subflows, rate 0
-		}
-		w := sp.Weight
-		if w == 0 {
-			w = 1
-		}
-		per := w / float64(len(pl))
-		for _, p := range pl {
-			subs = append(subs, Subflow{Conn: c, Links: p, Weight: per})
-		}
-	}
-	rates, err := MaxMinRates(caps, subs)
-	if err != nil {
-		return nil, err
-	}
-	return ConnRates(len(s.specs), subs, rates, s.LocalRate), nil
 }
 
 // StaticRates computes the steady-state connection rates if every
 // connection were active simultaneously — the allocation used for the
 // throughput experiments of §5.1 where all flows run concurrently.
 func StaticRates(caps []float64, specs []ConnSpec, localRate float64) ([]float64, error) {
-	s := NewSim(caps, specs)
-	if localRate > 0 {
-		s.LocalRate = localRate
+	if err := validateCaps(caps); err != nil {
+		return nil, err
 	}
-	ids := make([]int, len(specs))
-	paths := make([][][]int, len(specs))
+	if localRate <= 0 {
+		localRate = 10
+	}
+	st := newAllocState(caps, len(specs))
+	run := make([]int32, len(specs))
 	for i, sp := range specs {
 		if len(sp.Paths) == 0 {
 			return nil, fmt.Errorf("flowsim: connection %d has no paths", i)
 		}
-		ids[i] = i
-		paths[i] = sp.Paths
+		if err := st.admit(i, i, sp.Weight, sp.Paths); err != nil {
+			return nil, err
+		}
+		run[i] = int32(i)
 	}
-	return s.allocate(caps, ids, paths)
+	st.allocate(run)
+	out := make([]float64, len(specs))
+	for i := range specs {
+		out[i] = st.rate(i, localRate)
+	}
+	return out, nil
 }

@@ -1,0 +1,334 @@
+package flowsim
+
+import (
+	"fmt"
+	"math"
+
+	"flattree/internal/recorder"
+	"flattree/internal/telemetry"
+)
+
+// RunStream executes the simulation over a stream of connections instead
+// of a materialized spec slice: next is pulled lazily in arrival order
+// (arrivals must be nondecreasing), and each connection's result is
+// pushed to sink the moment it retires — id is the connection's position
+// in the stream, counted from zero. Memory is bounded by the peak
+// concurrent flow count, not the stream length, which is what lets the
+// 10M-flow Facebook-mix runs fit: connection slots are recycled through
+// a free list and the allocator's arenas compact when abandoned ranges
+// dominate.
+//
+// The event loop is Run's, and on a workload both can express (specs
+// pre-sorted by arrival, capacity-only events) the two produce
+// byte-identical results — the differential suite pins this. Scheduled
+// events may only set capacities: Reroute events address connections by
+// index, which a stream cannot resolve ahead of time, so they are
+// rejected. Sample is likewise unsupported (there is no full
+// per-connection vector to hand out).
+//
+// Connections still outstanding when the simulation stops (horizon, or
+// only persistent flows remain) are flushed to sink in ascending id
+// order with Finish = +Inf, mirroring Run's results for unfinished
+// connections.
+func (s *Sim) RunStream(next func() (ConnSpec, bool), sink func(id int, res ConnResult)) error {
+	if s.Sample != nil {
+		return fmt.Errorf("flowsim: RunStream does not support Sample")
+	}
+	for _, ev := range s.events {
+		if len(ev.Reroute) > 0 {
+			return fmt.Errorf("flowsim: RunStream supports capacity events only (reroute at t=%v)", ev.Time)
+		}
+	}
+	if err := validateCaps(s.caps); err != nil {
+		return err
+	}
+	caps := append([]float64(nil), s.caps...)
+	retryBase, retryMax := s.retryBounds()
+	st := newAllocState(caps, 0)
+
+	// Per-slot state, recycled with the slot. Slot count tracks the peak
+	// concurrent flow count.
+	var (
+		res       []ConnResult
+		remaining []float64
+		stalled   []bool
+		retrying  []bool
+		backoff   []float64
+		nextRetry []float64
+		freeSlots []int32
+	)
+	newSlot := func() int32 {
+		if k := len(freeSlots); k > 0 {
+			slot := freeSlots[k-1]
+			freeSlots = freeSlots[:k-1]
+			return slot
+		}
+		res = append(res, ConnResult{})
+		remaining = append(remaining, 0)
+		stalled = append(stalled, false)
+		retrying = append(retrying, false)
+		backoff = append(backoff, 0)
+		nextRetry = append(nextRetry, 0)
+		st.growSlots(len(res))
+		return int32(len(res) - 1)
+	}
+
+	// Active set sorted by ascending id: ids are assigned in pull order
+	// and arrivals are nondecreasing, so appends keep the order.
+	activeIDs := make([]int, 0, 64)
+	activeSlots := make([]int32, 0, 64)
+	runSlots := make([]int32, 0, 64)
+	runIDs := make([]int, 0, 64)
+	runRates := make([]float64, 0, 64)
+
+	// One-spec lookahead over the stream.
+	nextID := 0
+	lastArrival := math.Inf(-1)
+	pull := func() (ConnSpec, bool, error) {
+		sp, ok := next()
+		if !ok {
+			return ConnSpec{}, false, nil
+		}
+		if err := validateSpec(nextID, sp, s.Graceful); err != nil {
+			return ConnSpec{}, false, err
+		}
+		if sp.Arrival < lastArrival {
+			return ConnSpec{}, false, fmt.Errorf("flowsim: stream connection %d arrives at %v, before %v — arrivals must be nondecreasing",
+				nextID, sp.Arrival, lastArrival)
+		}
+		lastArrival = sp.Arrival
+		return sp, true, nil
+	}
+	pend, pendOK, err := pull()
+	if err != nil {
+		return err
+	}
+
+	nextEvent := 0
+	t := 0.0
+	events := telemetry.C("flowsim_events_total")
+	completed := telemetry.C("flowsim_flows_completed_total")
+	fct := telemetry.H("flowsim_fct_seconds")
+	stalls := telemetry.C("flowsim_stalls_total")
+	disconnected := telemetry.C("flowsim_disconnected_total")
+	stallHist := telemetry.H("flowsim_stall_seconds")
+
+	// emit delivers one finished (or flushed) connection to the caller,
+	// observing stall time exactly once per connection as finish() does.
+	emit := func(id int, slot int32) {
+		if res[slot].StallTime > 0 {
+			stallHist.Observe(res[slot].StallTime)
+		}
+		sink(id, res[slot])
+	}
+	// flush drains the still-outstanding connections in ascending id
+	// order; their Finish stays +Inf.
+	flush := func() {
+		for i, id := range activeIDs {
+			emit(id, activeSlots[i])
+		}
+	}
+	stall := func(slot int32, id int, now float64) {
+		if stalled[slot] {
+			return
+		}
+		stalled[slot] = true
+		if retrying[slot] {
+			backoff[slot] *= 2
+			if backoff[slot] > retryMax {
+				backoff[slot] = retryMax
+			}
+		} else {
+			backoff[slot] = retryBase
+			stalls.Inc()
+			s.Rec.Emit(recorder.Event{T: now, Kind: recorder.FlowStall, ID: id})
+		}
+		retrying[slot] = false
+		nextRetry[slot] = now + backoff[slot]
+	}
+
+	for {
+		events.Inc()
+		for nextEvent < len(s.events) && s.events[nextEvent].Time <= t+1e-12 {
+			ev := s.events[nextEvent]
+			nextEvent++
+			//flatvet:ordered writes to distinct link slots; order-independent
+			for id, cp := range ev.SetCaps {
+				if id < 0 || id >= len(caps) {
+					return fmt.Errorf("flowsim: event at t=%v sets capacity of link %d of %d", ev.Time, id, len(caps))
+				}
+				if math.IsNaN(cp) || cp < 0 {
+					return fmt.Errorf("flowsim: event at t=%v sets link %d capacity %v (want >= 0)", ev.Time, id, cp)
+				}
+				caps[id] = cp
+			}
+		}
+		// Admit arrivals at the current time, pulling the stream forward.
+		// Pull order is arrival order, so the batch lands in ascending id
+		// order — the same order Run's stable sort produces.
+		for pendOK && pend.Arrival <= t+1e-12 {
+			slot := newSlot()
+			id := nextID
+			nextID++
+			if err := st.admit(int(slot), id, pend.Weight, pend.Paths); err != nil {
+				return err
+			}
+			res[slot] = ConnResult{Start: pend.Arrival, Finish: math.Inf(1), Bits: pend.Bits}
+			remaining[slot] = pend.Bits
+			stalled[slot], retrying[slot] = false, false
+			backoff[slot], nextRetry[slot] = 0, 0
+			activeIDs = append(activeIDs, id)
+			activeSlots = append(activeSlots, slot)
+			s.Rec.Emit(recorder.Event{T: pend.Arrival, Kind: recorder.FlowStart, ID: id, A: int64(len(pend.Paths))})
+			if pend, pendOK, err = pull(); err != nil {
+				return err
+			}
+		}
+		// Wake stalled connections whose retry timer fired.
+		for _, slot := range activeSlots {
+			if stalled[slot] && nextRetry[slot] <= t+1e-12 {
+				stalled[slot] = false
+				retrying[slot] = true
+			}
+		}
+		if len(activeIDs) == 0 {
+			if !pendOK {
+				break
+			}
+			jump := pend.Arrival
+			if nextEvent < len(s.events) && s.events[nextEvent].Time < jump {
+				jump = s.events[nextEvent].Time
+			}
+			t = jump
+			continue
+		}
+		// Allocate rates for the running (non-stalled) set, ascending id.
+		runSlots, runIDs = runSlots[:0], runIDs[:0]
+		for i, slot := range activeSlots {
+			if !stalled[slot] {
+				runSlots = append(runSlots, slot)
+				runIDs = append(runIDs, activeIDs[i])
+			}
+		}
+		st.allocate(runSlots)
+		runRates = runRates[:0]
+		for _, slot := range runSlots {
+			runRates = append(runRates, st.rate(int(slot), s.LocalRate))
+		}
+		s.Rec.Emit(recorder.Event{T: t, Kind: recorder.AllocRound, A: int64(len(runSlots)), B: int64(len(activeIDs))})
+		if s.Graceful {
+			noFuture := !pendOK && nextEvent >= len(s.events)
+			starved := false
+			for ri, slot := range runSlots {
+				if math.IsInf(remaining[slot], 1) {
+					continue
+				}
+				if runRates[ri] <= 1e-15 {
+					if noFuture {
+						stalled[slot] = true
+						retrying[slot] = false
+						nextRetry[slot] = math.Inf(1)
+						disconnected.Inc()
+						s.Rec.Emit(recorder.Event{T: t, Kind: recorder.FlowDisconnect, ID: runIDs[ri]})
+					} else {
+						stall(slot, runIDs[ri], t)
+					}
+					starved = true
+					continue
+				}
+				retrying[slot] = false
+			}
+			if starved {
+				continue
+			}
+		}
+		// Next event: earliest completion, arrival, topology event, or
+		// stall-retry probe.
+		nextT := math.Inf(1)
+		if pendOK {
+			nextT = pend.Arrival
+		}
+		if nextEvent < len(s.events) && s.events[nextEvent].Time < nextT {
+			nextT = s.events[nextEvent].Time
+		}
+		for _, slot := range activeSlots {
+			if stalled[slot] && nextRetry[slot] < nextT {
+				nextT = nextRetry[slot]
+			}
+		}
+		completing := int32(-1)
+		for ri, slot := range runSlots {
+			r := runRates[ri]
+			if math.IsInf(remaining[slot], 1) || r <= 1e-15 {
+				continue
+			}
+			if fin := t + remaining[slot]/r; fin < nextT {
+				nextT = fin
+				completing = slot
+			}
+		}
+		if s.Horizon > 0 && nextT > s.Horizon {
+			dt := s.Horizon - t
+			for ri, slot := range runSlots {
+				remaining[slot] -= runRates[ri] * dt
+			}
+			for _, slot := range activeSlots {
+				if stalled[slot] {
+					res[slot].StallTime += dt
+				}
+			}
+			flush()
+			return nil
+		}
+		if math.IsInf(nextT, 1) {
+			for ri, slot := range runSlots {
+				if runRates[ri] <= 1e-15 && !math.IsInf(remaining[slot], 1) {
+					return fmt.Errorf("flowsim: connection %d starved (disconnected path set?)", runIDs[ri])
+				}
+			}
+			flush()
+			return nil
+		}
+		dt := nextT - t
+		for ri, slot := range runSlots {
+			remaining[slot] -= runRates[ri] * dt
+		}
+		for _, slot := range activeSlots {
+			if stalled[slot] {
+				res[slot].StallTime += dt
+			}
+		}
+		t = nextT
+		// Retire completed connections: sink the result, recycle the slot.
+		anyRetired := false
+		for ri, slot := range runSlots {
+			if !math.IsInf(remaining[slot], 1) && (slot == completing || remaining[slot] <= 1e-6) {
+				id := runIDs[ri]
+				res[slot].Finish = t
+				st.retire(int(slot), id)
+				anyRetired = true
+				completed.Inc()
+				fct.Observe(res[slot].FCT())
+				s.Rec.Emit(recorder.Event{T: t, Kind: recorder.FlowRetire, ID: id,
+					V: res[slot].FCT(), A: int64(res[slot].Reroutes)})
+				emit(id, slot)
+				remaining[slot] = math.NaN() // slot is dead until reused
+				freeSlots = append(freeSlots, slot)
+			}
+		}
+		if anyRetired {
+			// Compact the active lists in place; retired slots are the ones
+			// just pushed to the free list.
+			keptIDs, keptSlots := activeIDs[:0], activeSlots[:0]
+			for i, slot := range activeSlots {
+				if !math.IsNaN(remaining[slot]) {
+					keptIDs = append(keptIDs, activeIDs[i])
+					keptSlots = append(keptSlots, slot)
+				}
+			}
+			activeIDs, activeSlots = keptIDs, keptSlots
+			st.maybeCompact(activeIDs, activeSlots)
+		}
+	}
+	return nil
+}

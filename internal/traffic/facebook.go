@@ -2,7 +2,6 @@ package traffic
 
 import (
 	"fmt"
-	"math/rand"
 )
 
 // The four Facebook data center workloads of §5.2, reproduced from the
@@ -57,40 +56,15 @@ func FacebookSpec(name string, servers, serversPerRack, racksPerPod, flows int, 
 // racks, each carrying 10x the per-flow base volume (the paper's bandwidth
 // adjustment from the 1 Gbps original fabric to 10 Gbps links).
 func Hadoop1Trace(servers, serversPerRack, coflows int, baseGbit float64, duration float64, seed int64) []Flow {
-	if serversPerRack < 1 || servers%serversPerRack != 0 {
-		panic(fmt.Sprintf("traffic: hadoop-1 with servers=%d per rack=%d", servers, serversPerRack))
-	}
-	racks := servers / serversPerRack
-	if racks < 2 {
-		panic("traffic: hadoop-1 needs at least 2 racks")
-	}
-	rng := rand.New(rand.NewSource(seed))
-	var flows []Flow
-	t := 0.0
-	rate := float64(coflows) / duration
-	const expansion = 8
-	const volumeScale = 10
-	for c := 0; c < coflows; c++ {
-		t += rng.ExpFloat64() / rate
-		srcRack := rng.Intn(racks)
-		dstRack := rng.Intn(racks - 1)
-		if dstRack >= srcRack {
-			dstRack++
+	st := NewHadoop1Stream(servers, serversPerRack, coflows, baseGbit, duration, seed)
+	flows := make([]Flow, 0, st.Len())
+	for {
+		f, ok := st.Next()
+		if !ok {
+			return flows
 		}
-		// Heavy-tailed rack-to-rack volume: exponential mixture.
-		vol := baseGbit * (0.5 + rng.ExpFloat64())
-		for f := 0; f < expansion; f++ {
-			src := srcRack*serversPerRack + rng.Intn(serversPerRack)
-			dst := dstRack*serversPerRack + rng.Intn(serversPerRack)
-			flows = append(flows, Flow{
-				Src:     src,
-				Dst:     dst,
-				Bits:    vol * volumeScale / expansion,
-				Arrival: t,
-			})
-		}
+		flows = append(flows, f)
 	}
-	return flows
 }
 
 // VolumeByLocality sums trace volume per locality class; used to verify

@@ -1,0 +1,131 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Streaming trace generation: the 10M+ flow runs of the fbmix_large
+// experiment pull flows one at a time instead of materializing the whole
+// trace (a 10M-flow []Flow is ~400 MB before the simulator sees it).
+// Each stream consumes its seeded RNG in exactly the order the batch
+// generator does, so Generate(spec) and draining NewStream(spec) produce
+// identical flows — a property the tests pin.
+
+// Stream draws a TraceSpec's flows one at a time in arrival order.
+type Stream struct {
+	spec         TraceSpec
+	rng          *rand.Rand
+	perPod, pods int
+	rate         float64
+	t            float64
+	i            int
+}
+
+// NewStream validates the spec and positions the stream at the first
+// flow.
+func NewStream(s TraceSpec) (*Stream, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	perPod := s.ServersPerRack * s.RacksPerPod
+	return &Stream{
+		spec:   s,
+		rng:    rand.New(rand.NewSource(s.Seed)),
+		perPod: perPod,
+		pods:   s.Servers / perPod,
+		rate:   float64(s.Flows) / s.Duration,
+	}, nil
+}
+
+// Next returns the next flow, or ok=false when the trace is exhausted.
+// Arrivals are nondecreasing.
+func (st *Stream) Next() (Flow, bool) {
+	if st.i >= st.spec.Flows {
+		return Flow{}, false
+	}
+	st.i++
+	st.t += st.rng.ExpFloat64() / st.rate
+	src := st.rng.Intn(st.spec.Servers)
+	dst := drawDst(st.rng, st.spec, src, st.perPod, st.pods)
+	size := st.spec.SizeMedianGbit * math.Exp(st.spec.SizeSigma*st.rng.NormFloat64())
+	return Flow{Src: src, Dst: dst, Bits: size, Arrival: st.t}, true
+}
+
+// Len returns the total number of flows the stream will produce.
+func (st *Stream) Len() int { return st.spec.Flows }
+
+// Hadoop1Stream draws the Hadoop-1 coflow expansion one flow at a time;
+// draining it equals Hadoop1Trace exactly.
+type Hadoop1Stream struct {
+	rng                   *rand.Rand
+	serversPerRack, racks int
+	coflows               int
+	baseGbit, rate        float64
+	t                     float64
+	c                     int
+	buf                   [hadoop1Expansion]Flow
+	bufN                  int
+}
+
+const (
+	hadoop1Expansion   = 8
+	hadoop1VolumeScale = 10
+)
+
+// NewHadoop1Stream mirrors Hadoop1Trace's parameters and panics on the
+// same malformed shapes.
+func NewHadoop1Stream(servers, serversPerRack, coflows int, baseGbit, duration float64, seed int64) *Hadoop1Stream {
+	if serversPerRack < 1 || servers%serversPerRack != 0 {
+		panic(fmt.Sprintf("traffic: hadoop-1 with servers=%d per rack=%d", servers, serversPerRack))
+	}
+	racks := servers / serversPerRack
+	if racks < 2 {
+		panic("traffic: hadoop-1 needs at least 2 racks")
+	}
+	return &Hadoop1Stream{
+		rng:            rand.New(rand.NewSource(seed)),
+		serversPerRack: serversPerRack,
+		racks:          racks,
+		coflows:        coflows,
+		baseGbit:       baseGbit,
+		rate:           float64(coflows) / duration,
+	}
+}
+
+// Next returns the next server flow, or ok=false after the last coflow's
+// expansion.
+func (h *Hadoop1Stream) Next() (Flow, bool) {
+	if h.bufN == 0 {
+		if h.c >= h.coflows {
+			return Flow{}, false
+		}
+		h.c++
+		h.t += h.rng.ExpFloat64() / h.rate
+		srcRack := h.rng.Intn(h.racks)
+		dstRack := h.rng.Intn(h.racks - 1)
+		if dstRack >= srcRack {
+			dstRack++
+		}
+		// Heavy-tailed rack-to-rack volume: exponential mixture.
+		vol := h.baseGbit * (0.5 + h.rng.ExpFloat64())
+		for f := 0; f < hadoop1Expansion; f++ {
+			src := srcRack*h.serversPerRack + h.rng.Intn(h.serversPerRack)
+			dst := dstRack*h.serversPerRack + h.rng.Intn(h.serversPerRack)
+			h.buf[f] = Flow{
+				Src:     src,
+				Dst:     dst,
+				Bits:    vol * hadoop1VolumeScale / hadoop1Expansion,
+				Arrival: h.t,
+			}
+		}
+		h.bufN = hadoop1Expansion
+	}
+	f := h.buf[hadoop1Expansion-h.bufN]
+	h.bufN--
+	return f, true
+}
+
+// Len returns the total number of flows the stream will produce.
+func (h *Hadoop1Stream) Len() int { return h.coflows * hadoop1Expansion }

@@ -1,0 +1,94 @@
+package traffic
+
+import (
+	"testing"
+)
+
+// The streaming generators must replay the batch generators bit for bit:
+// fbmix_large relies on NewStream/NewHadoop1Stream producing exactly the
+// flows Generate/Hadoop1Trace would, just without the slice.
+
+func TestStreamMatchesGenerate(t *testing.T) {
+	spec, err := FacebookSpec("web", 128, 4, 4, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStream(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != len(batch) {
+		t.Fatalf("stream Len %d, batch %d", st.Len(), len(batch))
+	}
+	for i := range batch {
+		f, ok := st.Next()
+		if !ok {
+			t.Fatalf("stream ended at flow %d of %d", i, len(batch))
+		}
+		if f != batch[i] {
+			t.Fatalf("flow %d: stream %+v, batch %+v", i, f, batch[i])
+		}
+	}
+	if f, ok := st.Next(); ok {
+		t.Fatalf("stream overruns batch: extra flow %+v", f)
+	}
+}
+
+func TestStreamRejectsBadSpec(t *testing.T) {
+	if _, err := NewStream(TraceSpec{Name: "bad"}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestHadoop1StreamMatchesTrace(t *testing.T) {
+	const (
+		servers, perRack = 96, 4
+		coflows          = 700
+		baseGbit         = 0.5
+		duration         = 1.0
+		seed             = 7
+	)
+	batch := Hadoop1Trace(servers, perRack, coflows, baseGbit, duration, seed)
+	st := NewHadoop1Stream(servers, perRack, coflows, baseGbit, duration, seed)
+	if st.Len() != len(batch) {
+		t.Fatalf("stream Len %d, batch %d", st.Len(), len(batch))
+	}
+	for i := range batch {
+		f, ok := st.Next()
+		if !ok {
+			t.Fatalf("stream ended at flow %d of %d", i, len(batch))
+		}
+		if f != batch[i] {
+			t.Fatalf("flow %d: stream %+v, batch %+v", i, f, batch[i])
+		}
+	}
+	if f, ok := st.Next(); ok {
+		t.Fatalf("stream overruns batch: extra flow %+v", f)
+	}
+}
+
+func TestStreamArrivalsNondecreasing(t *testing.T) {
+	spec, err := FacebookSpec("cache", 64, 4, 4, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStream(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := 0.0
+	for {
+		f, ok := st.Next()
+		if !ok {
+			break
+		}
+		if f.Arrival < last {
+			t.Fatalf("arrival %v after %v", f.Arrival, last)
+		}
+		last = f.Arrival
+	}
+}

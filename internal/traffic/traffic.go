@@ -11,7 +11,6 @@ package traffic
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 )
 
@@ -232,25 +231,21 @@ func (s TraceSpec) Validate() error {
 
 // Generate draws the trace: flow arrivals are Poisson over Duration,
 // sources uniform, destinations drawn per the locality mix, sizes
-// log-normal.
+// log-normal. It materializes the whole trace; large runs should drain
+// NewStream instead, which produces the identical flow sequence.
 func Generate(s TraceSpec) ([]Flow, error) {
-	if err := s.Validate(); err != nil {
+	st, err := NewStream(s)
+	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(s.Seed))
-	perPod := s.ServersPerRack * s.RacksPerPod
-	pods := s.Servers / perPod
 	flows := make([]Flow, 0, s.Flows)
-	t := 0.0
-	rate := float64(s.Flows) / s.Duration
-	for i := 0; i < s.Flows; i++ {
-		t += rng.ExpFloat64() / rate
-		src := rng.Intn(s.Servers)
-		dst := drawDst(rng, s, src, perPod, pods)
-		size := s.SizeMedianGbit * math.Exp(s.SizeSigma*rng.NormFloat64())
-		flows = append(flows, Flow{Src: src, Dst: dst, Bits: size, Arrival: t})
+	for {
+		f, ok := st.Next()
+		if !ok {
+			return flows, nil
+		}
+		flows = append(flows, f)
 	}
-	return flows, nil
 }
 
 // drawDst picks a destination according to the locality fractions.
