@@ -85,7 +85,12 @@ func parseBench(r io.Reader, label string) (*Point, error) {
 		}
 		b := Bench{Pkg: pkg, Name: m[1], Metrics: map[string]float64{}}
 		if m[2] != "" {
-			b.Procs, _ = strconv.Atoi(m[2])
+			n, err := strconv.Atoi(m[2])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: bad GOMAXPROCS suffix in %q: %v (assuming 1)\n", line, err)
+				n = 1
+			}
+			b.Procs = n
 		}
 		var err error
 		if b.Iterations, err = strconv.ParseInt(m[3], 10, 64); err != nil {

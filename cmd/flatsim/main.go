@@ -21,8 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strings"
@@ -31,6 +29,7 @@ import (
 	"flattree/internal/experiments"
 	"flattree/internal/parallel"
 	"flattree/internal/recorder"
+	"flattree/internal/service"
 	"flattree/internal/telemetry"
 )
 
@@ -77,13 +76,18 @@ func main() {
 	if *record != "" {
 		rec = recorder.Enable(*recLimit)
 	}
+	// Pre-bind the pprof listener so the banner never announces an address
+	// that failed to bind; a bad -pprof flag is a startup error, not a
+	// background log line racing the experiment output.
 	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "flatsim: pprof server: %v\n", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "flatsim: pprof at http://%s/debug/pprof/\n", *pprofAddr)
+		pa, err := service.StartPprof(*pprofAddr, func(err error) {
+			fmt.Fprintf(os.Stderr, "flatsim: pprof server: %v\n", err)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flatsim: pprof listen on %s: %v\n", *pprofAddr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "flatsim: pprof at http://%s/debug/pprof/\n", pa)
 	}
 
 	// Experiment tables go to stdout; timing and errors go to stderr, so

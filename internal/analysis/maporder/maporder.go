@@ -26,6 +26,7 @@ import (
 // iteration order must not be observable. Shared with floatsum.
 var DeterministicPackages = []string{
 	"flowsim", "mcf", "routing", "control", "churn", "experiments", "graph", "topo",
+	"service",
 }
 
 var Analyzer = &analysis.Analyzer{

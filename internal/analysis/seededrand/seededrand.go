@@ -28,7 +28,7 @@ import (
 // injected: everything whose output feeds seeded experiments.
 var Packages = []string{
 	"flowsim", "packetsim", "mcf", "routing", "control", "churn",
-	"experiments", "graph", "topo", "traffic", "placement",
+	"experiments", "graph", "topo", "traffic", "placement", "service",
 }
 
 // constructors may be called on the package (they build an explicit

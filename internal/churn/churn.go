@@ -15,6 +15,8 @@
 package churn
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -62,6 +64,12 @@ func (tr Trace) Sort() {
 // network property). Partitioning failures are allowed — graceful
 // degradation is exactly what the engine evaluates. The same (topology,
 // n, window, mttr, seed) always yields the same trace.
+//
+// GenerateTrace does not validate its parameters; callers with untrusted
+// or computed inputs should use GenerateTraceChecked, which rejects the
+// degenerate schedules this function silently produces (window <= 0
+// collapses every failure onto t=0, negative mttr schedules repairs
+// before their failures, NaN times poison the event sort).
 func GenerateTrace(t *topo.Topology, n int, window, mttr float64, seed int64) Trace {
 	seen := make(map[[2]int]bool)
 	var pairs [][2]int
@@ -96,6 +104,26 @@ func GenerateTrace(t *topo.Topology, n int, window, mttr float64, seed int64) Tr
 	}
 	tr.Sort()
 	return tr
+}
+
+// GenerateTraceChecked validates the schedule parameters before drawing,
+// mirroring flowsim's NaN/negative-capacity validation: n must be
+// non-negative, window positive and finite, and mttr non-negative and
+// finite. GenerateTrace accepts all of these silently and produces
+// degenerate schedules (every failure at t=0, repairs before failures, a
+// NaN-poisoned sort); experiments and services route through this
+// entry point instead.
+func GenerateTraceChecked(t *topo.Topology, n int, window, mttr float64, seed int64) (Trace, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("churn: negative failure count n = %d", n)
+	}
+	if math.IsNaN(window) || math.IsInf(window, 0) || window <= 0 {
+		return nil, fmt.Errorf("churn: failure window %v must be positive and finite", window)
+	}
+	if math.IsNaN(mttr) || math.IsInf(mttr, 0) || mttr < 0 {
+		return nil, fmt.Errorf("churn: mttr %v must be non-negative and finite", mttr)
+	}
+	return GenerateTrace(t, n, window, mttr, seed), nil
 }
 
 // pairKey normalizes an adjacency to ascending endpoint order.

@@ -61,6 +61,10 @@ type Plan struct {
 	// Reactions records the modeled control-plane latency of each trace
 	// event, in trace order.
 	Reactions []float64
+	// Deltas records the per-switch rule delta the incremental table
+	// installed for each trace event, in trace order — the rule churn that
+	// priced the matching Reactions entry.
+	Deltas []routing.RuleDelta
 }
 
 func (e *Engine) k() int {
@@ -122,6 +126,7 @@ func (e *Engine) Compile(trace Trace, conns []Conn) (*Plan, error) {
 	deadSlots := make(map[int]bool)
 	var events []flowsim.TopoEvent
 	reactions := make([]float64, 0, len(trace))
+	deltas := make([]routing.RuleDelta, 0, len(trace))
 	for _, ev := range trace {
 		key := pairKey(ev.A, ev.B)
 		ids := linksByPair[key]
@@ -169,8 +174,9 @@ func (e *Engine) Compile(trace Trace, conns []Conn) (*Plan, error) {
 		} else {
 			delta = inc.Fail(link)
 		}
-		delay := e.Detection + ruleTime(delta, e.Delay)
+		delay := ReactionTime(e.Detection, delta, e.Delay)
 		reactions = append(reactions, delay)
+		deltas = append(deltas, delta)
 		e.Rec.Emit(recorder.Event{T: ev.Time, Kind: recorder.Reaction, V: delay,
 			A: int64(delta.TotalDels()), B: int64(delta.TotalAdds())})
 
@@ -194,7 +200,7 @@ func (e *Engine) Compile(trace Trace, conns []Conn) (*Plan, error) {
 		telemetry.H("churn_reaction_seconds").Observe(delay)
 	}
 	sort.SliceStable(events, func(a, b int) bool { return events[a].Time < events[b].Time })
-	return &Plan{Specs: specs, Events: events, Reactions: reactions}, nil
+	return &Plan{Specs: specs, Events: events, Reactions: reactions, Deltas: deltas}, nil
 }
 
 // pruneWithMap rebuilds the topology without the masked links, returning
@@ -259,16 +265,19 @@ func directedServerPaths(table *routing.Table, g *graph.Graph, linkMap []int, sr
 	return out
 }
 
-// ruleTime prices one event's rule delta with the delay model's per-rule
-// constants, following control.ConvertPods semantics: only the rules the
-// event deletes and adds are charged; parallel configuration is bounded
-// by the busiest switch, sequential by the totals. An event that changes
-// no rules costs nothing beyond detection.
-func ruleTime(delta routing.RuleDelta, d control.DelayModel) float64 {
+// ReactionTime prices one link event's control-plane reaction: detection
+// latency plus the rule-diff update time under the delay model, following
+// control.ConvertPods semantics — only the rules the event deletes and
+// adds are charged; parallel configuration is bounded by the busiest
+// switch, sequential by the totals. An event that changes no rules costs
+// nothing beyond detection. This is the quantity Engine.Compile records
+// per event and flatd's /events/link returns, so the online and offline
+// paths price identically by construction.
+func ReactionTime(detection float64, delta routing.RuleDelta, d control.DelayModel) float64 {
 	if d.Parallel {
-		return float64(delta.MaxDels())*d.PerRuleDelete + float64(delta.MaxAdds())*d.PerRuleAdd
+		return detection + float64(delta.MaxDels())*d.PerRuleDelete + float64(delta.MaxAdds())*d.PerRuleAdd
 	}
-	return float64(delta.TotalDels())*d.PerRuleDelete + float64(delta.TotalAdds())*d.PerRuleAdd
+	return detection + float64(delta.TotalDels())*d.PerRuleDelete + float64(delta.TotalAdds())*d.PerRuleAdd
 }
 
 // crossesDead reports whether any path uses a masked directed slot.

@@ -1,0 +1,64 @@
+package churn
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"flattree/internal/core"
+)
+
+func TestGenerateTraceCheckedRejectsDegenerateInputs(t *testing.T) {
+	tp := exampleTopo(t, core.ModeClos)
+	cases := []struct {
+		name         string
+		n            int
+		window, mttr float64
+	}{
+		{"negative n", -1, 1.0, 0.5},
+		{"zero window", 5, 0, 0.5},
+		{"negative window", 5, -1.0, 0.5},
+		{"nan window", 5, math.NaN(), 0.5},
+		{"inf window", 5, math.Inf(1), 0.5},
+		{"negative mttr", 5, 1.0, -0.5},
+		{"nan mttr", 5, 1.0, math.NaN()},
+		{"inf mttr", 5, 1.0, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := GenerateTraceChecked(tp, tc.n, tc.window, tc.mttr, 3)
+			if err == nil {
+				t.Fatalf("GenerateTraceChecked(n=%d, window=%v, mttr=%v) accepted degenerate input, trace len %d",
+					tc.n, tc.window, tc.mttr, len(tr))
+			}
+		})
+	}
+}
+
+func TestGenerateTraceCheckedMatchesUnchecked(t *testing.T) {
+	tp := exampleTopo(t, core.ModeClos)
+	got, err := GenerateTraceChecked(tp, 5, 2.0, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GenerateTrace(tp, 5, 2.0, 0.5, 7)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("checked trace differs from unchecked trace for identical valid inputs")
+	}
+}
+
+func TestGenerateTraceCheckedAllowsBoundaryInputs(t *testing.T) {
+	tp := exampleTopo(t, core.ModeClos)
+	// mttr = 0 (instant repair) and n = 0 (empty trace) are degenerate but
+	// well-defined, not errors.
+	if _, err := GenerateTraceChecked(tp, 5, 1.0, 0, 3); err != nil {
+		t.Fatalf("mttr=0: %v", err)
+	}
+	tr, err := GenerateTraceChecked(tp, 0, 1.0, 0.5, 3)
+	if err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if len(tr) != 0 {
+		t.Fatalf("n=0 trace has %d events, want 0", len(tr))
+	}
+}

@@ -241,6 +241,14 @@ func (nw *Network) validateGlobalConnectivity() error {
 	return nil
 }
 
+// Clone returns an independent copy of the network: same Clos layout and
+// converter options, private per-pod mode vector. What-if machinery
+// (control.QuotePodModes, flatd's conversion quotes) converts the clone
+// freely without disturbing the live network.
+func (nw *Network) Clone() *Network {
+	return &Network{clos: nw.clos, opt: nw.opt, podModes: append([]Mode(nil), nw.podModes...)}
+}
+
 // Clos returns the underlying Clos parameterization.
 func (nw *Network) Clos() topo.ClosParams { return nw.clos }
 

@@ -86,7 +86,10 @@ func (c Config) Churn() ([]ChurnRow, error) {
 		}
 		eng := &churn.Engine{Topo: t, K: 8, Detection: 0.05, Delay: delay,
 			Rec: rec.Track("churn/" + mode.String() + "/engine")}
-		trace := churn.GenerateTrace(t, nFail, 1.0, 0.5, c.Seed+31)
+		trace, err := churn.GenerateTraceChecked(t, nFail, 1.0, 0.5, c.Seed+31)
+		if err != nil {
+			return fmt.Errorf("churn %v: %w", mode, err)
+		}
 		plan, err := eng.Compile(trace, conns)
 		if err != nil {
 			return fmt.Errorf("churn %v: %w", mode, err)

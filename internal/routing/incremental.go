@@ -9,6 +9,7 @@ import (
 	"flattree/internal/parallel"
 	"flattree/internal/recorder"
 	"flattree/internal/telemetry"
+	"flattree/internal/topo"
 )
 
 // Incremental route repair (§4.3): the controller touches only the
@@ -222,6 +223,70 @@ func (it *IncrementalTable) Fail(link int) RuleDelta {
 	it.emitDelta(delta)
 	it.finishEvent(len(dirty), start)
 	return delta
+}
+
+// FailBetween masks one link of the (a, b) adjacency following the
+// churn-engine masking rule — the lowest-ID surviving link of the bundle
+// fails first — and returns the masked link ID with the event's per-switch
+// rule delta. Unlike Fail it validates its input (flatd's /events/link
+// feeds it operator requests): the endpoints must be switches joined by at
+// least one surviving link. As long as every event on the adjacency goes
+// through FailBetween/RepairBetween the masked set is always a prefix of
+// the bundle's ascending link IDs, exactly the sequence churn.Engine
+// compiles, so deltas here are byte-identical to the offline path.
+func (it *IncrementalTable) FailBetween(a, b int) (int, RuleDelta, error) {
+	ids, err := it.bundleBetween(a, b)
+	if err != nil {
+		return 0, RuleDelta{}, err
+	}
+	for _, id := range ids {
+		if !it.banned[id] {
+			return id, it.Fail(id), nil
+		}
+	}
+	return 0, RuleDelta{}, fmt.Errorf("routing: no surviving link between %d and %d", a, b)
+}
+
+// RepairBetween unmasks the most recently masked link of the (a, b)
+// adjacency (the masking rule's inverse: highest masked ID first) and
+// returns the restored link ID with the event's per-switch rule delta.
+func (it *IncrementalTable) RepairBetween(a, b int) (int, RuleDelta, error) {
+	ids, err := it.bundleBetween(a, b)
+	if err != nil {
+		return 0, RuleDelta{}, err
+	}
+	for i := len(ids) - 1; i >= 0; i-- {
+		if it.banned[ids[i]] {
+			return ids[i], it.Repair(ids[i]), nil
+		}
+	}
+	return 0, RuleDelta{}, fmt.Errorf("routing: no masked link between %d and %d", a, b)
+}
+
+// bundleBetween validates an adjacency request and returns its link IDs
+// ascending. Server uplinks are rejected: a dead NIC removes the server,
+// which is not a network property (matching churn.GenerateTrace).
+func (it *IncrementalTable) bundleBetween(a, b int) ([]int, error) {
+	t := it.base.topo
+	for _, nd := range [2]int{a, b} {
+		if nd < 0 || nd >= len(t.Nodes) {
+			return nil, fmt.Errorf("routing: node %d out of range [0, %d)", nd, len(t.Nodes))
+		}
+		if t.Nodes[nd].Kind == topo.Server {
+			return nil, fmt.Errorf("routing: node %d is a server; server uplinks do not fail", nd)
+		}
+	}
+	var ids []int
+	for _, id := range t.G.Incident(a) {
+		if t.G.Link(id).Other(a) == b {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("routing: no link between %d and %d", a, b)
+	}
+	sort.Ints(ids)
+	return ids, nil
 }
 
 // Repair unmasks a link: pairs whose baseline paths avoid every still-

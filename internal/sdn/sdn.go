@@ -111,7 +111,6 @@ func Compile(t *topo.Topology, table *routing.Table, assign *addressing.Assignme
 		if len(bySwitch[sw]) == 0 || assignServerID(addrs) < assignServerID(bySwitch[sw]) {
 			bySwitch[sw] = addrs
 		}
-		_ = server
 	}
 
 	for _, src := range table.Ingress {

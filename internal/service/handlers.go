@@ -1,0 +1,391 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"flattree/internal/churn"
+	"flattree/internal/control"
+	"flattree/internal/core"
+	"flattree/internal/routing"
+	"flattree/internal/topo"
+)
+
+// switchDelta is one switch's entry in a JSON-rendered rule delta,
+// sorted by switch ID so response bodies are deterministic.
+type switchDelta struct {
+	Switch int `json:"switch"`
+	Dels   int `json:"dels,omitempty"`
+	Adds   int `json:"adds,omitempty"`
+}
+
+// sortedDelta renders a routing.RuleDelta as a deterministic slice.
+func sortedDelta(d routing.RuleDelta) []switchDelta {
+	order := make([]int, 0, len(d.Adds)+len(d.Dels))
+	for sw := range d.Adds {
+		order = append(order, sw)
+	}
+	for sw := range d.Dels {
+		order = append(order, sw)
+	}
+	sort.Ints(order)
+	out := make([]switchDelta, 0, len(order))
+	for i, sw := range order {
+		if i > 0 && sw == order[i-1] {
+			continue // switch present in both maps
+		}
+		out = append(out, switchDelta{Switch: sw, Dels: d.Dels[sw], Adds: d.Adds[sw]})
+	}
+	return out
+}
+
+// failedLink is one masked link in /topology and /events/link responses.
+type failedLink struct {
+	Link int `json:"link"`
+	A    int `json:"a"`
+	B    int `json:"b"`
+}
+
+// failedLinksLocked renders the masked set sorted by link ID; callers
+// hold at least a read lock.
+func (s *Server) failedLinksLocked() []failedLink {
+	out := make([]failedLink, 0, len(s.failed))
+	for id, ab := range s.failed {
+		out = append(out, failedLink{Link: id, A: ab[0], B: ab[1]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	return out
+}
+
+// modeStrings renders a mode vector for JSON.
+func modeStrings(modes []core.Mode) []string {
+	out := make([]string, len(modes))
+	for i, m := range modes {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// writeJSON writes v as an indented JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"encoding response failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// requireMethod enforces the endpoint's method, answering 405 otherwise.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		httpError(w, http.StatusMethodNotAllowed, "method %s not allowed; use %s", r.Method, method)
+		return false
+	}
+	return true
+}
+
+// GET /healthz — liveness plus the state's mutation epoch.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.mu.RLock()
+	events := s.events
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		LinkEvents    int64   `json:"link_events_applied"`
+	}{Status: "ok", UptimeSeconds: sinceStart(s), LinkEvents: events})
+}
+
+// topologyResponse is the GET /topology body.
+type topologyResponse struct {
+	Name          string       `json:"name"`
+	Fingerprint   string       `json:"fingerprint"`
+	K             int          `json:"k"`
+	PodModes      []string     `json:"pod_modes"`
+	Servers       int          `json:"servers"`
+	Switches      int          `json:"switches"`
+	Links         int          `json:"links"`
+	FailedLinks   []failedLink `json:"failed_links"`
+	DegradedPairs int          `json:"degraded_pairs"`
+}
+
+// GET /topology — the live state's identity and health.
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := topologyResponse{
+		Name:          s.topo.Name,
+		Fingerprint:   s.fp,
+		K:             s.cfg.K,
+		PodModes:      modeStrings(s.nw.PodModes()),
+		Servers:       len(s.topo.Servers()),
+		Switches:      len(s.topo.Nodes) - len(s.topo.Servers()),
+		Links:         s.topo.G.NumLinks(),
+		FailedLinks:   s.failedLinksLocked(),
+		DegradedPairs: s.inc.DegradedPairs(),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// routePath is one path in a GET /routes body.
+type routePath struct {
+	Nodes []int `json:"nodes"`
+	Links []int `json:"links"`
+}
+
+// GET /routes?src=&dst= — live k-shortest server-to-server lookup.
+func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	src, err := s.serverParam(r, "src")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dst, err := s.serverParam(r, "dst")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	paths := s.inc.View().ServerPaths(src, dst)
+	if len(paths) > s.cfg.K {
+		paths = paths[:s.cfg.K]
+	}
+	out := make([]routePath, len(paths))
+	for i, p := range paths {
+		out[i] = routePath{Nodes: p.Nodes, Links: p.Links}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Src       int         `json:"src"`
+		Dst       int         `json:"dst"`
+		K         int         `json:"k"`
+		Reachable bool        `json:"reachable"`
+		Paths     []routePath `json:"paths"`
+	}{Src: src, Dst: dst, K: s.cfg.K, Reachable: len(out) > 0, Paths: out})
+}
+
+// serverParam parses a query parameter as a server node ID.
+func (s *Server) serverParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	if id < 0 || id >= len(s.topo.Nodes) {
+		return 0, fmt.Errorf("parameter %q: node %d out of range [0, %d)", name, id, len(s.topo.Nodes))
+	}
+	if s.topo.Nodes[id].Kind != topo.Server {
+		return 0, fmt.Errorf("parameter %q: node %d is a %v, not a server", name, id, s.topo.Nodes[id].Kind)
+	}
+	return id, nil
+}
+
+// quoteRequest is the POST /quote/convert body: the full target per-pod
+// mode vector.
+type quoteRequest struct {
+	Modes []string `json:"modes"`
+}
+
+// quoteResponse is the POST /quote/convert body: the Table 3 delay
+// breakdown plus the per-switch rule churn (dels = pre-conversion rule
+// counts, adds = post-conversion, per control.Quote).
+type quoteResponse struct {
+	From                   []string      `json:"from"`
+	To                     []string      `json:"to"`
+	ConvertersReconfigured int           `json:"converters_reconfigured"`
+	RulesDeleted           int           `json:"rules_deleted"`
+	RulesAdded             int           `json:"rules_added"`
+	OCSSeconds             float64       `json:"ocs_seconds"`
+	DeleteSeconds          float64       `json:"delete_seconds"`
+	AddSeconds             float64       `json:"add_seconds"`
+	TotalSeconds           float64       `json:"total_seconds"`
+	RampSeconds            float64       `json:"ramp_seconds"`
+	RuleDelta              []switchDelta `json:"rule_delta"`
+}
+
+// POST /quote/convert — price a what-if pod-mode conversion on a clone
+// of the live network; live routing state is untouched.
+func (s *Server) handleQuoteConvert(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req quoteRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	modes := make([]core.Mode, len(req.Modes))
+	for i, raw := range req.Modes {
+		m, err := core.ParseMode(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "modes[%d]: %v", i, err)
+			return
+		}
+		modes[i] = m
+	}
+	s.mu.RLock()
+	clone := s.nw.Clone()
+	s.mu.RUnlock()
+	q, err := control.QuotePodModes(clone, s.cfg.Delay, s.kByMode(), modes)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "quote: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, quoteResponse{
+		From:                   modeStrings(q.Report.From),
+		To:                     modeStrings(q.Report.To),
+		ConvertersReconfigured: q.Report.ConvertersReconfigured,
+		RulesDeleted:           q.Report.RulesDeleted,
+		RulesAdded:             q.Report.RulesAdded,
+		OCSSeconds:             q.Report.OCSTime,
+		DeleteSeconds:          q.Report.DeleteTime,
+		AddSeconds:             q.Report.AddTime,
+		TotalSeconds:           q.Report.Total,
+		RampSeconds:            q.Report.RampTime,
+		RuleDelta:              sortedDelta(q.Delta),
+	})
+}
+
+// kByMode builds the controller k-table the daemon quotes with: the
+// configured k for every mode, matching the live table's depth.
+func (s *Server) kByMode() map[core.Mode]int {
+	return map[core.Mode]int{
+		core.ModeClos:   s.cfg.K,
+		core.ModeLocal:  s.cfg.K,
+		core.ModeGlobal: s.cfg.K,
+	}
+}
+
+// linkEventRequest is the POST /events/link body.
+type linkEventRequest struct {
+	// Action is "fail" or "repair".
+	Action string `json:"action"`
+	// A and B are the switch endpoints of the affected adjacency; the
+	// daemon picks the exact parallel link by the churn engine's masking
+	// rule (fail the lowest surviving ID, repair the most recent).
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+// linkEventResponse is the POST /events/link body: the applied event,
+// the exact rule delta the incremental table installed, and its priced
+// control-plane reaction.
+type linkEventResponse struct {
+	Action          string        `json:"action"`
+	A               int           `json:"a"`
+	B               int           `json:"b"`
+	Link            int           `json:"link"`
+	RulesDeleted    int           `json:"rules_deleted"`
+	RulesAdded      int           `json:"rules_added"`
+	ReactionSeconds float64       `json:"reaction_seconds"`
+	RuleDelta       []switchDelta `json:"rule_delta"`
+	FailedLinks     []failedLink  `json:"failed_links"`
+	DegradedPairs   int           `json:"degraded_pairs"`
+}
+
+// POST /events/link — fail or repair a link through the live incremental
+// table. Mutations are serialized under the write lock.
+func (s *Server) handleLinkEvent(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req linkEventRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Action != "fail" && req.Action != "repair" {
+		httpError(w, http.StatusBadRequest, "action %q must be \"fail\" or \"repair\"", req.Action)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var (
+		link  int
+		delta routing.RuleDelta
+		err   error
+	)
+	if req.Action == "fail" {
+		link, delta, err = s.inc.FailBetween(req.A, req.B)
+	} else {
+		link, delta, err = s.inc.RepairBetween(req.A, req.B)
+	}
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if req.Action == "fail" {
+		s.failed[link] = [2]int{req.A, req.B}
+	} else {
+		delete(s.failed, link)
+	}
+	s.events++
+	reaction := churn.ReactionTime(s.cfg.Detection, delta, s.cfg.Delay)
+	s.reg.Counter("flatd_link_events_total", "action", req.Action).Inc()
+	writeJSON(w, http.StatusOK, linkEventResponse{
+		Action:          req.Action,
+		A:               req.A,
+		B:               req.B,
+		Link:            link,
+		RulesDeleted:    delta.TotalDels(),
+		RulesAdded:      delta.TotalAdds(),
+		ReactionSeconds: reaction,
+		RuleDelta:       sortedDelta(delta),
+		FailedLinks:     s.failedLinksLocked(),
+		DegradedPairs:   s.inc.DegradedPairs(),
+	})
+}
+
+// GET /metrics — Prometheus text exposition of the daemon's registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if s.reg == nil {
+		httpError(w, http.StatusServiceUnavailable, "telemetry registry disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		// Headers are gone; all we can do is note it in the registry.
+		s.reg.Counter("flatd_metrics_write_errors_total").Inc()
+	}
+}
+
+// decodeBody parses a JSON request body strictly: unknown fields and
+// trailing garbage are errors, so malformed requests fail loudly.
+func decodeBody(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("request body: %v", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("request body: trailing data after JSON object")
+	}
+	return nil
+}

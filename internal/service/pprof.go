@@ -1,0 +1,27 @@
+package service
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+)
+
+// StartPprof binds addr and serves the net/http/pprof handlers on it in
+// the background. The listener is established before StartPprof returns,
+// so a caller that prints the endpoint address after a nil error is never
+// lying about an unbound port; a bind failure surfaces here instead of in
+// a detached goroutine's log line. onErr, if non-nil, receives the
+// (non-nil) error when the background server later stops serving.
+func StartPprof(addr string, onErr func(error)) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		err := http.Serve(ln, nil)
+		if err != nil && onErr != nil {
+			onErr(err)
+		}
+	}()
+	return ln.Addr(), nil
+}

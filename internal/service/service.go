@@ -1,0 +1,219 @@
+// Package service is the resident flat-tree control plane behind cmd/flatd:
+// a long-lived HTTP/JSON daemon that owns a live topology, an incremental
+// route table, and the churn pricing machinery, and answers online
+// questions against that state — the "system serving millions of users"
+// surface the batch CLIs (flatsim/benchtables) cannot provide.
+//
+// Endpoints:
+//
+//	GET  /healthz        liveness: status, uptime, applied link events
+//	GET  /topology       fingerprint, pod modes, failed links, table health
+//	GET  /routes         k-shortest server-to-server lookup (?src=&dst=)
+//	POST /quote/convert  what-if conversion quote, priced on a copy
+//	POST /events/link    fail/repair a link through the incremental table
+//	GET  /metrics        Prometheus text exposition of the telemetry registry
+//
+// Reads run concurrently under an RWMutex; mutations (/events/link) are
+// serialized, so the state is race-clean by construction. Conversion
+// quotes clone the network (control.QuotePodModes) and never touch live
+// state. Every request runs under a deadline (Config.RequestTimeout) and
+// is logged as a bounded telemetry root span; Run drains in-flight
+// requests on context cancellation before returning.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"flattree/internal/control"
+	"flattree/internal/core"
+	"flattree/internal/routing"
+	"flattree/internal/telemetry"
+	"flattree/internal/topo"
+)
+
+// Config assembles a Server. Network is required; everything else has a
+// serviceable default.
+type Config struct {
+	// Network is the flat-tree network the daemon owns. The server takes
+	// ownership: callers must not mutate it after New.
+	Network *core.Network
+	// K is the number of k-shortest paths per ingress pair in the live
+	// route table (default 8, matching the churn experiment).
+	K int
+	// Detection is the failure-detection latency priced into every link
+	// event's reaction time, in seconds (default 0.05).
+	Detection float64
+	// Delay prices rule updates for quotes and link events. The zero value
+	// selects control.TestbedDelayModel with parallel switch configuration.
+	Delay control.DelayModel
+	// Registry receives request spans, counters, and /metrics output; nil
+	// uses the process-global registry (which may be disabled).
+	Registry *telemetry.Registry
+	// RequestTimeout bounds each request's handling time (default 10s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds how long Run waits for in-flight requests after
+	// shutdown begins (default 15s).
+	DrainTimeout time.Duration
+}
+
+// Server is the daemon's state: one mutex-owned struct so concurrent
+// reads and serialized mutations stay race-clean.
+type Server struct {
+	cfg   Config
+	reg   *telemetry.Registry
+	start time.Time
+
+	mu sync.RWMutex
+	// nw holds the live per-pod modes; topo is its healthy realization.
+	nw   *core.Network
+	topo *topo.Topology
+	// fp is the healthy realization's content fingerprint, fixed at New.
+	fp string
+	// inc is the live route table; link events mutate it in place.
+	inc *routing.IncrementalTable
+	// failed maps each masked link ID to its endpoints, mirroring the
+	// incremental table's banned set for /topology reporting.
+	failed map[int][2]int
+	// events counts applied link events (the state's mutation epoch).
+	events int64
+
+	// preHandle, when set (tests), runs inside the handler chain before
+	// dispatch — the hook the shutdown drain test blocks on.
+	preHandle func(*http.Request)
+}
+
+// New realizes the network, builds the live route table, and returns a
+// ready-to-serve daemon.
+func New(cfg Config) (*Server, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("service: Config.Network is required")
+	}
+	if cfg.K == 0 {
+		cfg.K = 8
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("service: k = %d", cfg.K)
+	}
+	if cfg.Detection == 0 {
+		cfg.Detection = 0.05
+	}
+	if cfg.Delay == (control.DelayModel{}) {
+		cfg.Delay = control.TestbedDelayModel()
+		cfg.Delay.Parallel = true
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.Default()
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 15 * time.Second
+	}
+	t := cfg.Network.Realize().Topo
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("service: realized topology invalid: %w", err)
+	}
+	table := routing.BuildKShortestCached(t, cfg.K)
+	return &Server{
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		start:  time.Now(),
+		nw:     cfg.Network,
+		topo:   t,
+		fp:     t.Fingerprint(),
+		inc:    routing.NewIncremental(table),
+		failed: map[int][2]int{},
+	}, nil
+}
+
+// Run serves on the established listener until ctx is cancelled, then
+// shuts down gracefully: the listener closes immediately, in-flight
+// requests get up to Config.DrainTimeout to complete, and Run returns
+// only once they have drained (or the drain deadline expired). A non-nil
+// return reports either a serve failure or an incomplete drain.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		err := hs.Shutdown(drainCtx)
+		if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+			return serveErr
+		}
+		if err != nil {
+			return fmt.Errorf("service: drain incomplete: %w", err)
+		}
+		return nil
+	}
+}
+
+// Handler returns the daemon's full handler chain: request spans and
+// counters outermost, then the per-request deadline, then the routing mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/topology", s.handleTopology)
+	mux.HandleFunc("/routes", s.handleRoutes)
+	mux.HandleFunc("/quote/convert", s.handleQuoteConvert)
+	mux.HandleFunc("/events/link", s.handleLinkEvent)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+
+	var inner http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.preHandle != nil {
+			s.preHandle(r)
+		}
+		mux.ServeHTTP(w, r)
+	})
+	timed := http.TimeoutHandler(inner, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	return s.observe(timed)
+}
+
+// observe wraps the handler chain in bounded request logging: one root
+// span per request (the registry's root-span limit keeps a resident
+// daemon's history finite) plus path-labeled counters and a latency
+// histogram.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sp := s.reg.StartRootSpan("http", telemetry.Str("method", r.Method), telemetry.Str("path", r.URL.Path))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		sp.SetAttr(telemetry.Int("status", sw.status))
+		sp.End()
+		s.reg.Counter("flatd_requests_total", "path", r.URL.Path).Inc()
+		if sw.status >= 400 {
+			s.reg.Counter("flatd_request_errors_total", "path", r.URL.Path).Inc()
+		}
+		s.reg.Histogram("flatd_request_seconds").Observe(time.Since(start).Seconds())
+	})
+}
+
+// sinceStart returns the daemon's uptime in seconds.
+func sinceStart(s *Server) float64 { return time.Since(s.start).Seconds() }
+
+// statusWriter captures the response status for the request span.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,518 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flattree/internal/churn"
+	"flattree/internal/control"
+	"flattree/internal/core"
+	"flattree/internal/telemetry"
+	"flattree/internal/topo"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current responses")
+
+// testParams is a 2-pod flat-tree small enough for fast table builds but
+// with parallel links and converters, so link events and quotes are
+// non-trivial.
+var testParams = topo.ClosParams{
+	Name: "svc-mini", Pods: 2, EdgesPerPod: 2, AggsPerPod: 2,
+	ServersPerEdge: 2, EdgeUplinks: 2, AggUplinks: 2, Cores: 4,
+}
+
+func testNetwork(t *testing.T) *core.Network {
+	t.Helper()
+	nw, err := core.New(testParams, core.Options{N: 1, M: 1, Pattern: core.Pattern1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// testDelay is the pricing model every test server uses; the differential
+// tests construct their offline baselines with the same model.
+func testDelay() control.DelayModel {
+	d := control.TestbedDelayModel()
+	d.Parallel = true
+	return d
+}
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := New(Config{
+		Network:   testNetwork(t),
+		K:         4,
+		Detection: 0.05,
+		Delay:     testDelay(),
+		Registry:  telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// do issues one request against the server's full handler chain and
+// returns status and body.
+func do(t *testing.T, srv *Server, method, target, body string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, target, rd)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+// checkGolden compares a response body against testdata/<name>; -update
+// rewrites the file.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("response drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// switchLink finds one switch-to-switch adjacency in the realized
+// topology — a failable link bundle for event tests.
+func switchLink(t *testing.T, tp *topo.Topology) (int, int) {
+	t.Helper()
+	for _, l := range tp.G.Links() {
+		if tp.Nodes[l.A].Kind != topo.Server && tp.Nodes[l.B].Kind != topo.Server {
+			return l.A, l.B
+		}
+	}
+	t.Fatal("no switch-to-switch link in test topology")
+	return 0, 0
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newTestServer(t)
+	code, body := do(t, srv, http.MethodGet, "/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	var resp struct {
+		Status     string `json:"status"`
+		LinkEvents int64  `json:"link_events_applied"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || resp.LinkEvents != 0 {
+		t.Fatalf("healthz = %+v", resp)
+	}
+}
+
+func TestTopologyGolden(t *testing.T) {
+	srv := newTestServer(t)
+	code, body := do(t, srv, http.MethodGet, "/topology", "")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	checkGolden(t, "topology.golden.json", body)
+}
+
+func TestQuoteConvertGolden(t *testing.T) {
+	srv := newTestServer(t)
+	code, body := do(t, srv, http.MethodPost, "/quote/convert", `{"modes":["local","clos"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	checkGolden(t, "quote_convert.golden.json", body)
+}
+
+// TestQuoteConvertDifferential pins the online quote byte-identical to
+// the offline control.QuotePodModes path for the same conversion: the
+// daemon must be a transport in front of the library, never a second
+// implementation.
+func TestQuoteConvertDifferential(t *testing.T) {
+	srv := newTestServer(t)
+	code, body := do(t, srv, http.MethodPost, "/quote/convert", `{"modes":["global","local"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+
+	q, err := control.QuotePodModes(testNetwork(t), testDelay(), srv.kByMode(),
+		[]core.Mode{core.ModeGlobal, core.ModeLocal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.MarshalIndent(quoteResponse{
+		From:                   modeStrings(q.Report.From),
+		To:                     modeStrings(q.Report.To),
+		ConvertersReconfigured: q.Report.ConvertersReconfigured,
+		RulesDeleted:           q.Report.RulesDeleted,
+		RulesAdded:             q.Report.RulesAdded,
+		OCSSeconds:             q.Report.OCSTime,
+		DeleteSeconds:          q.Report.DeleteTime,
+		AddSeconds:             q.Report.AddTime,
+		TotalSeconds:           q.Report.Total,
+		RampSeconds:            q.Report.RampTime,
+		RuleDelta:              sortedDelta(q.Delta),
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(body, want) {
+		t.Fatalf("online quote differs from offline QuotePodModes:\n--- online ---\n%s\n--- offline ---\n%s", body, want)
+	}
+}
+
+// TestQuoteConvertLeavesLiveStateUntouched verifies the what-if quote is
+// computed on a copy: the live topology response is identical before and
+// after quoting a conversion.
+func TestQuoteConvertLeavesLiveStateUntouched(t *testing.T) {
+	srv := newTestServer(t)
+	_, before := do(t, srv, http.MethodGet, "/topology", "")
+	if code, body := do(t, srv, http.MethodPost, "/quote/convert", `{"modes":["local","global"]}`); code != http.StatusOK {
+		t.Fatalf("quote status = %d, body %s", code, body)
+	}
+	_, after := do(t, srv, http.MethodGet, "/topology", "")
+	if !bytes.Equal(before, after) {
+		t.Fatalf("quote mutated live state:\n--- before ---\n%s\n--- after ---\n%s", before, after)
+	}
+}
+
+// linkEventResult mirrors linkEventResponse for decoding.
+type linkEventResult struct {
+	Link            int           `json:"link"`
+	RulesDeleted    int           `json:"rules_deleted"`
+	RulesAdded      int           `json:"rules_added"`
+	ReactionSeconds float64       `json:"reaction_seconds"`
+	RuleDelta       []switchDelta `json:"rule_delta"`
+}
+
+// TestLinkEventDifferential pins /events/link byte-identical to the
+// offline churn pipeline: the same fail+repair trace compiled by
+// churn.Engine must yield the same per-switch deltas and priced
+// reactions the daemon returns.
+func TestLinkEventDifferential(t *testing.T) {
+	srv := newTestServer(t)
+	a, b := switchLink(t, srv.topo)
+
+	eng := &churn.Engine{Topo: testNetwork(t).Realize().Topo, K: 4, Detection: 0.05, Delay: testDelay()}
+	trace := churn.Trace{
+		{Time: 0, A: a, B: b},
+		{Time: 1, A: a, B: b, Repair: true},
+	}
+	plan, err := eng.Compile(trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Deltas) != 2 || len(plan.Reactions) != 2 {
+		t.Fatalf("plan has %d deltas, %d reactions, want 2 each", len(plan.Deltas), len(plan.Reactions))
+	}
+
+	for i, action := range []string{"fail", "repair"} {
+		reqBody := fmt.Sprintf(`{"action":%q,"a":%d,"b":%d}`, action, a, b)
+		code, body := do(t, srv, http.MethodPost, "/events/link", reqBody)
+		if code != http.StatusOK {
+			t.Fatalf("%s status = %d, body %s", action, code, body)
+		}
+		var got linkEventResult
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.ReactionSeconds != plan.Reactions[i] {
+			t.Errorf("%s reaction = %v, offline engine priced %v", action, got.ReactionSeconds, plan.Reactions[i])
+		}
+		if got.RulesDeleted != plan.Deltas[i].TotalDels() || got.RulesAdded != plan.Deltas[i].TotalAdds() {
+			t.Errorf("%s rule totals = (%d dels, %d adds), offline (%d, %d)", action,
+				got.RulesDeleted, got.RulesAdded, plan.Deltas[i].TotalDels(), plan.Deltas[i].TotalAdds())
+		}
+		gotDelta, err := json.Marshal(got.RuleDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDelta, err := json.Marshal(sortedDelta(plan.Deltas[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotDelta, wantDelta) {
+			t.Errorf("%s rule delta differs from offline engine:\n--- online ---\n%s\n--- offline ---\n%s",
+				action, gotDelta, wantDelta)
+		}
+	}
+}
+
+func TestLinkEventErrors(t *testing.T) {
+	srv := newTestServer(t)
+	a, b := switchLink(t, srv.topo)
+	servers := srv.topo.Servers()
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"bad action", fmt.Sprintf(`{"action":"toggle","a":%d,"b":%d}`, a, b), http.StatusBadRequest},
+		{"unknown field", `{"action":"fail","a":0,"b":1,"x":2}`, http.StatusBadRequest},
+		{"not json", `fail a b`, http.StatusBadRequest},
+		{"repair healthy", fmt.Sprintf(`{"action":"repair","a":%d,"b":%d}`, a, b), http.StatusUnprocessableEntity},
+		{"server endpoint", fmt.Sprintf(`{"action":"fail","a":%d,"b":%d}`, servers[0], a), http.StatusUnprocessableEntity},
+		{"no adjacency", fmt.Sprintf(`{"action":"fail","a":%d,"b":%d}`, a, a), http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := do(t, srv, http.MethodPost, "/events/link", tc.body)
+			if code != tc.status {
+				t.Fatalf("status = %d, want %d; body %s", code, tc.status, body)
+			}
+		})
+	}
+}
+
+func TestRoutes(t *testing.T) {
+	srv := newTestServer(t)
+	servers := srv.topo.Servers()
+	src, dst := servers[0], servers[len(servers)-1]
+	code, body := do(t, srv, http.MethodGet, fmt.Sprintf("/routes?src=%d&dst=%d", src, dst), "")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	var resp struct {
+		Reachable bool `json:"reachable"`
+		Paths     []struct {
+			Nodes []int `json:"nodes"`
+			Links []int `json:"links"`
+		} `json:"paths"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Reachable || len(resp.Paths) == 0 {
+		t.Fatalf("no paths between servers %d and %d: %s", src, dst, body)
+	}
+	if len(resp.Paths) > 4 {
+		t.Fatalf("%d paths exceed k=4", len(resp.Paths))
+	}
+	for _, p := range resp.Paths {
+		if p.Nodes[0] != src || p.Nodes[len(p.Nodes)-1] != dst || len(p.Nodes) != len(p.Links)+1 {
+			t.Fatalf("malformed path %+v", p)
+		}
+	}
+
+	for _, target := range []string{
+		"/routes",
+		"/routes?src=0&dst=1",                       // node 0 is a switch
+		fmt.Sprintf("/routes?src=%d&dst=xyz", src),  // unparsable
+		fmt.Sprintf("/routes?src=%d&dst=9999", src), // out of range
+	} {
+		if code, _ := do(t, srv, http.MethodGet, target, ""); code != http.StatusBadRequest {
+			t.Errorf("GET %s status = %d, want 400", target, code)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []struct{ method, target string }{
+		{http.MethodPost, "/topology"},
+		{http.MethodGet, "/quote/convert"},
+		{http.MethodGet, "/events/link"},
+		{http.MethodDelete, "/healthz"},
+	}
+	for _, tc := range cases {
+		if code, _ := do(t, srv, tc.method, tc.target, ""); code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s status = %d, want 405", tc.method, tc.target, code)
+		}
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	srv := newTestServer(t)
+	do(t, srv, http.MethodGet, "/healthz", "")
+	code, body := do(t, srv, http.MethodGet, "/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(string(body), "flatd_requests_total") {
+		t.Fatalf("metrics body lacks request counter:\n%s", body)
+	}
+}
+
+// TestConcurrentHammer drives every endpoint from many goroutines at
+// once; run under -race it proves the mutex discipline.
+func TestConcurrentHammer(t *testing.T) {
+	srv := newTestServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	a, b := switchLink(t, srv.topo)
+	servers := srv.topo.Servers()
+	client := ts.Client()
+
+	post := func(path, body string) int {
+		resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	get := func(path string) int {
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	const workers, iters = 8, 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch w % 4 {
+				case 0:
+					if code := get("/topology"); code != http.StatusOK {
+						t.Errorf("topology status %d", code)
+					}
+				case 1:
+					target := fmt.Sprintf("/routes?src=%d&dst=%d", servers[0], servers[len(servers)-1])
+					if code := get(target); code != http.StatusOK {
+						t.Errorf("routes status %d", code)
+					}
+				case 2:
+					if code := post("/quote/convert", `{"modes":["local","clos"]}`); code != http.StatusOK {
+						t.Errorf("quote status %d", code)
+					}
+				case 3:
+					// Concurrent fail/repair of one adjacency races with the
+					// other worker on the same bundle: 422 (nothing left to
+					// fail / nothing to repair) is a legitimate outcome.
+					action := []string{"fail", "repair"}[i%2]
+					body := fmt.Sprintf(`{"action":%q,"a":%d,"b":%d}`, action, a, b)
+					if code := post("/events/link", body); code != http.StatusOK && code != http.StatusUnprocessableEntity {
+						t.Errorf("link event status %d", code)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if code := get("/metrics"); code != http.StatusOK {
+		t.Errorf("metrics status %d", code)
+	}
+}
+
+// TestGracefulShutdownDrain cancels the run context while a request is
+// blocked inside a handler: Run must not return until the request
+// completes, and the request must still succeed.
+func TestGracefulShutdownDrain(t *testing.T) {
+	srv := newTestServer(t)
+	srv.cfg.RequestTimeout = time.Minute
+	srv.cfg.DrainTimeout = 30 * time.Second
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.preHandle = func(r *http.Request) {
+		if r.URL.Path == "/topology" {
+			once.Do(func() { close(entered) })
+			<-release
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.Run(ctx, ln) }()
+
+	reqStatus := make(chan int, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/topology")
+		if err != nil {
+			reqStatus <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		reqStatus <- resp.StatusCode
+	}()
+
+	<-entered
+	cancel()
+	select {
+	case err := <-runErr:
+		t.Fatalf("Run returned (%v) while a request was still in flight", err)
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	close(release)
+	if code := <-reqStatus; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with status %d, want 200", code)
+	}
+	if err := <-runErr; err != nil {
+		t.Fatalf("Run returned %v after drain, want nil", err)
+	}
+}
+
+func TestStartPprofBindFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := StartPprof(ln.Addr().String(), nil); err == nil {
+		t.Fatal("StartPprof bound an already-bound address without error")
+	}
+}
+
+func TestStartPprofServes(t *testing.T) {
+	addr, err := StartPprof("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+}

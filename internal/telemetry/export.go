@@ -94,10 +94,13 @@ func (r *Registry) Snapshot() *Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	snap.UptimeSecs = time.Since(r.start).Seconds()
-	if len(r.counters) > 0 {
-		snap.Counters = make(map[string]int64, len(r.counters))
+	if len(r.counters) > 0 || r.droppedRoots > 0 {
+		snap.Counters = make(map[string]int64, len(r.counters)+1)
 		for key, c := range r.counters {
 			snap.Counters[key] = c.Value()
+		}
+		if r.droppedRoots > 0 {
+			snap.Counters["telemetry_root_spans_dropped_total"] = r.droppedRoots
 		}
 	}
 	if len(r.gauges) > 0 {

@@ -1,0 +1,50 @@
+package telemetry
+
+import "testing"
+
+func endRoots(r *Registry, n int) {
+	for i := 0; i < n; i++ {
+		r.StartRootSpan("req").End()
+	}
+}
+
+func TestSetRootSpanLimitBoundsHistory(t *testing.T) {
+	r := NewRegistry()
+	r.SetRootSpanLimit(2)
+	endRoots(r, 5)
+	snap := r.Snapshot()
+	if len(snap.Spans) != 2 {
+		t.Fatalf("kept %d root spans, want 2", len(snap.Spans))
+	}
+	if got := snap.Counters["telemetry_root_spans_dropped_total"]; got != 3 {
+		t.Fatalf("dropped counter = %d, want 3", got)
+	}
+}
+
+func TestSetRootSpanLimitAppliesRetroactively(t *testing.T) {
+	r := NewRegistry()
+	endRoots(r, 4)
+	r.SetRootSpanLimit(1)
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("kept %d root spans after retroactive limit, want 1", len(snap.Spans))
+	}
+	if got := snap.Counters["telemetry_root_spans_dropped_total"]; got != 3 {
+		t.Fatalf("dropped counter = %d, want 3", got)
+	}
+}
+
+func TestSetRootSpanLimitZeroIsUnbounded(t *testing.T) {
+	r := NewRegistry()
+	r.SetRootSpanLimit(2)
+	r.SetRootSpanLimit(0)
+	endRoots(r, 5)
+	if got := len(r.Snapshot().Spans); got != 5 {
+		t.Fatalf("kept %d root spans with limit 0, want all 5", got)
+	}
+}
+
+func TestSetRootSpanLimitNilRegistry(t *testing.T) {
+	var r *Registry
+	r.SetRootSpanLimit(3) // must not panic
+}

@@ -130,5 +130,6 @@ func (s *Span) End() {
 	}
 	if s.parent == nil {
 		r.roots = append(r.roots, s)
+		r.enforceRootLimitLocked()
 	}
 }

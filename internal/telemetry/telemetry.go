@@ -152,6 +152,10 @@ type Registry struct {
 	hists    map[string]*Histogram
 	roots    []*Span // finished root spans, in End order
 	stack    []*Span // open spans; top is the implicit parent of new spans
+	// rootLimit bounds the finished-root-span history (0 = unbounded);
+	// droppedRoots counts spans the bound discarded.
+	rootLimit    int
+	droppedRoots int64
 }
 
 // NewRegistry creates an empty registry.
@@ -162,6 +166,37 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
+}
+
+// SetRootSpanLimit bounds the finished-root-span history to the most
+// recent n spans; 0 restores the unbounded default. Batch runs keep every
+// span, but a resident service (flatd) emits one root span per request
+// and would grow the registry without limit — the bound turns the history
+// into a ring of the latest n requests. Spans the bound discards are
+// counted and surfaced in snapshots as the synthetic counter
+// telemetry_root_spans_dropped_total.
+func (r *Registry) SetRootSpanLimit(n int) {
+	if r == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rootLimit = n
+	r.enforceRootLimitLocked()
+}
+
+// enforceRootLimitLocked drops the oldest finished roots past the limit;
+// callers hold r.mu.
+func (r *Registry) enforceRootLimitLocked() {
+	if r.rootLimit <= 0 || len(r.roots) <= r.rootLimit {
+		return
+	}
+	over := len(r.roots) - r.rootLimit
+	r.droppedRoots += int64(over)
+	r.roots = append(r.roots[:0:0], r.roots[over:]...)
 }
 
 // labelString renders alternating key, value pairs as a deterministic
