@@ -7,6 +7,9 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"flattree/internal/analysis/sarif"
+	"flattree/internal/analysis/suite"
 )
 
 // TestViolationsGolden runs the full suite over the deliberately broken
@@ -29,10 +32,87 @@ func TestViolationsGolden(t *testing.T) {
 	}
 	// The golden file must exercise every analyzer and both directive
 	// checks; guard against the testdata rotting into partial coverage.
-	for _, analyzer := range []string{"maporder", "floatsum", "seededrand", "simclock", "spanend", "flatvet"} {
+	for _, analyzer := range []string{
+		"maporder", "floatsum", "seededrand", "simclock", "spanend",
+		"lockcheck", "ctxflow", "errdrop", "hotalloc", "flatvet",
+	} {
 		if !strings.Contains(string(golden), ": "+analyzer+": ") {
 			t.Errorf("golden file has no %s diagnostic", analyzer)
 		}
+	}
+}
+
+// TestSARIFRoundTrip runs the violations module with -sarif and pins
+// the CI-artifact contract: the file decodes, re-encodes to the same
+// bytes, and carries one result per text diagnostic.
+func TestSARIFRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "flatvet.sarif")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", filepath.Join("testdata", "violations"), "-sarif", out, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := sarif.Decode(data)
+	if err != nil {
+		t.Fatalf("decoding -sarif output: %v", err)
+	}
+	enc, err := sarif.Encode(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, enc) {
+		t.Errorf("-sarif output does not round-trip byte-identically:\nfile:     %q\nreencode: %q", data, enc)
+	}
+	textLines := strings.Count(stdout.String(), "\n")
+	if got := len(log.Runs[0].Results); got != textLines {
+		t.Errorf("SARIF has %d results, text output has %d diagnostics", got, textLines)
+	}
+	if got, want := len(log.Runs[0].Tool.Driver.Rules), len(suite.Analyzers())+1; got != want {
+		t.Errorf("SARIF driver declares %d rules, want %d (analyzers + directive syntax)", got, want)
+	}
+}
+
+// TestSARIFCleanRun asserts a clean tree still writes a SARIF log —
+// the empty results array is CI's signal that the tree was scanned.
+func TestSARIFCleanRun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "flatvet.sarif")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", filepath.Join("testdata", "clean"), "-sarif", out, "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := sarif.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean run produced SARIF results: %+v", log.Runs[0].Results)
+	}
+}
+
+// TestPkgsFilter asserts -pkgs narrows reporting to the named
+// final-segment packages.
+func TestPkgsFilter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", filepath.Join("testdata", "violations"), "-pkgs", "churn", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if !strings.HasPrefix(line, "churn/") {
+			t.Errorf("-pkgs churn reported a non-churn diagnostic: %s", line)
+		}
+	}
+	if !strings.Contains(stdout.String(), "errdrop") {
+		t.Errorf("-pkgs churn lost the errdrop findings:\n%s", stdout.String())
 	}
 }
 

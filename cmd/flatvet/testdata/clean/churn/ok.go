@@ -1,0 +1,16 @@
+// Package churn is an errdrop-scope package with no violations: every
+// error is handled or carries a reasoned waiver.
+package churn
+
+import "errors"
+
+func apply() error { return errors.New("boom") }
+
+func Process() error {
+	if err := apply(); err != nil {
+		return err
+	}
+	//flatvet:errok best-effort cleanup, primary result already returned
+	apply()
+	return nil
+}

@@ -1,0 +1,30 @@
+// Package flowsim is a hotalloc-scope package with no violations: the
+// marked hot path reuses pooled backing and presized capacity, and its
+// one fmt call carries a reasoned waiver.
+package flowsim
+
+import "fmt"
+
+type pool struct {
+	scratch []int
+}
+
+//flatvet:hotpath exercised once per event in the clean-module test
+func (p *pool) round(xs []int) (int, error) {
+	out := p.scratch[:0]
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	acc := make([]int, 0, len(out))
+	for _, x := range out {
+		if x > 0 {
+			acc = append(acc, x)
+		}
+	}
+	p.scratch = out
+	if len(acc) == len(xs) {
+		//flatvet:alloc error path only, the round has already failed
+		return 0, fmt.Errorf("no progress")
+	}
+	return len(acc), nil
+}

@@ -1,0 +1,44 @@
+// Package service is a lockcheck/ctxflow-scope package with no
+// violations: the snapshot helper releases the lock before the handler
+// writes, guarded fields are written under the write lock, and the
+// request context threads through the helpers.
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+type daemon struct {
+	mu    sync.RWMutex
+	state int
+}
+
+func (d *daemon) handle(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte(label(r.Context(), d.snapshot())))
+}
+
+func (d *daemon) snapshot() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.state
+}
+
+func (d *daemon) bump() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.state++
+}
+
+func label(ctx context.Context, n int) string {
+	select {
+	case <-ctx.Done():
+		return "cancelled"
+	default:
+	}
+	if n > 0 {
+		return "busy"
+	}
+	return "idle"
+}

@@ -1,0 +1,21 @@
+// Package churn seeds errdrop violations: errors discarded with the
+// blank identifier, a bare call, and a reason-less //flatvet:errok the
+// suite reports as malformed instead of honoring.
+package churn
+
+import "errors"
+
+func apply() error { return errors.New("boom") }
+
+// Process drops two errors outright.
+func Process() {
+	_ = apply()
+	apply()
+}
+
+// BadWaiver carries a reason-less errok: malformed, so the drop below
+// it is still reported too.
+func BadWaiver() {
+	//flatvet:errok
+	apply()
+}

@@ -1,0 +1,25 @@
+// hot.go seeds hotalloc violations: allocation inside a marked hot
+// path, and a reason-less //flatvet:hotpath the suite reports as
+// malformed (and which therefore marks nothing).
+package flowsim
+
+import "fmt"
+
+// Gather appends into an un-presized slice on a marked hot path.
+//
+//flatvet:hotpath seeded violation for the golden test
+func Gather(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Label sits under a reason-less marker: the directive is malformed,
+// so the fmt call is NOT additionally reported.
+//
+//flatvet:hotpath
+func Label(n int) string {
+	return fmt.Sprintf("%d", n)
+}

@@ -60,6 +60,9 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Waivers   *directive.Index
+	// Loaded is the underlying loader package, giving analyzers access
+	// to the per-function summary pass (Loaded.Summary()).
+	Loaded *load.Package
 
 	diags []Diagnostic
 }
@@ -88,6 +91,7 @@ func Run(a *Analyzer, pkg *load.Package) ([]Diagnostic, error) {
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
 		Waivers:   directive.NewIndex(pkg.Fset, pkg.Files),
+		Loaded:    pkg,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"flattree/internal/analysis/anatest"
+	"flattree/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	anatest.Run(t, "testdata", ctxflow.Analyzer)
+}

@@ -1,0 +1,3 @@
+module scope
+
+go 1.22

@@ -1,0 +1,41 @@
+package service
+
+import (
+	"context"
+	"net/http"
+)
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `context.Background\(\) severs the in-scope context`
+	process(ctx)
+	helper()
+	process(r.Context()) // ok: threads the request context
+}
+
+func helper() {
+	ctx := context.TODO() // want `context.TODO\(\) in a function reachable from a request handler`
+	process(ctx)
+}
+
+func process(ctx context.Context) {
+	<-ctx.Done() // ok: context is observed
+}
+
+func dropped(ctx context.Context, n int) int { // want `dropped takes a context.Context it never uses`
+	return n
+}
+
+func blankCtx(_ context.Context, n int) int { // want `blankCtx takes a context.Context it never uses`
+	return n
+}
+
+func bootstrap() context.Context {
+	return context.Background() // ok: process root, not a request path
+}
+
+func waived(ctx context.Context) {
+	//flatvet:ctx testdata: drain must outlive the request context
+	c := context.Background()
+	process(c)
+	process(ctx)
+}

@@ -1,0 +1,182 @@
+// Package errdrop flags silently discarded error returns in the
+// simulation and control packages.
+//
+// A dropped error in flowsim or control is not a style problem: it is a
+// conversion that half-applied or a bookkeeping rollback that failed
+// while the run kept going, producing numbers that look valid and are
+// not. The analyzer flags, in its scope packages:
+//
+//   - assignments that discard every result of an error-returning call
+//     (`_ = f()`, `_, _ = f()`), and
+//   - expression and defer statements calling a function whose results
+//     include an error.
+//
+// Never-fail writers are exempt: methods on bytes.Buffer, strings.Builder
+// and hash.Hash satisfy io interfaces with errors that are always nil,
+// and fmt.Fprint* into one of those destinations inherits the exemption.
+// Everything else either handles the error or carries an explicit
+// //flatvet:errok <reason> waiver, so the decision to ignore survives
+// review instead of hiding in a blank identifier.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"flattree/internal/analysis"
+)
+
+// Packages is the final-segment scope: the packages whose dropped
+// errors corrupt results rather than UX.
+var Packages = []string{"flowsim", "routing", "churn", "control", "core"}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "errdrop",
+	Doc:       "flags discarded error returns (blank assignment, bare or deferred calls) in simulation/control packages",
+	Directive: "errok",
+	Scope:     analysis.SegmentScope(Packages...),
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkBareCall(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkBareCall(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				// The goroutine's function runs elsewhere; its own body is
+				// walked independently. Nothing to check at the go site.
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags `_ = f()` shapes: every LHS blank and at least one
+// discarded value of type error.
+func checkAssign(pass *analysis.Pass, asg *ast.AssignStmt) {
+	for _, lhs := range asg.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return
+		}
+	}
+	if len(asg.Rhs) != 1 {
+		return
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || !returnsError(pass.TypesInfo, call) || exempt(pass.TypesInfo, call) {
+		return
+	}
+	pass.Reportf(asg.Pos(), "error from %s discarded with _; handle it or add //flatvet:errok <reason>", callName(call))
+}
+
+// checkBareCall flags statement calls whose results include an error.
+func checkBareCall(pass *analysis.Pass, call *ast.CallExpr, kind string) {
+	if !returnsError(pass.TypesInfo, call) || exempt(pass.TypesInfo, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %scall to %s dropped; handle it or add //flatvet:errok <reason>", kind, callName(call))
+}
+
+// returnsError reports whether any of call's results is exactly type
+// error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exempt reports whether call is a never-fail writer: a method on
+// bytes.Buffer / strings.Builder / a hash.Hash implementation, or
+// fmt.Fprint* writing into one of those.
+func exempt(info *types.Info, call *ast.CallExpr) bool {
+	if pkg, name, ok := analysis.PkgFuncCall(info, call); ok && pkg == "fmt" {
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 {
+				return neverFailWriter(info.TypeOf(call.Args[0]))
+			}
+		case "Print", "Printf", "Println":
+			// Stdout diagnostics: losing the write error loses nothing a
+			// simulation result depends on.
+			return true
+		}
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	return neverFailWriter(s.Recv())
+}
+
+// neverFailWriter reports whether t is one of the always-nil-error
+// writer types.
+func neverFailWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "bytes":
+		return obj.Name() == "Buffer"
+	case "strings":
+		return obj.Name() == "Builder"
+	case "hash":
+		return true
+	}
+	return false
+}
+
+// callName renders the called expression for the diagnostic.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "function"
+}

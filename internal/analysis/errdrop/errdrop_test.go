@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"flattree/internal/analysis/anatest"
+	"flattree/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	anatest.Run(t, "testdata", errdrop.Analyzer)
+}

@@ -1,0 +1,49 @@
+package churn
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func value() int { return 3 }
+
+func drops() int {
+	_ = fallible()   // want `error from fallible discarded with _`
+	fallible()       // want `error from call to fallible dropped`
+	defer fallible() // want `error from deferred call to fallible dropped`
+	_, _ = pair()    // want `error from pair discarded with _`
+	value()          // ok: no error result
+	_ = value()      // ok: no error result
+	v, err := pair() // ok: error bound to a name
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func handled() error {
+	if err := fallible(); err != nil { // ok: error inspected
+		return err
+	}
+	return nil
+}
+
+func writers() string {
+	var b bytes.Buffer
+	b.WriteString("x") // ok: bytes.Buffer never fails
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "x%d", 1) // ok: fmt into a never-fail writer
+	fmt.Println("x")           // ok: stdout diagnostics
+	return b.String() + sb.String()
+}
+
+func waived() {
+	//flatvet:errok testdata: best-effort rollback
+	_ = fallible()
+	fallible() //flatvet:errok testdata: same-line waiver
+}

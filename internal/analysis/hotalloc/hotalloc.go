@@ -1,0 +1,258 @@
+// Package hotalloc gates allocation in functions marked
+// //flatvet:hotpath.
+//
+// The SoA allocator's contract (PR 7) is that steady-state allocation
+// rounds do not allocate: scratch is pooled, growth is amortized, and
+// the 10M-flow runs stay flat. That contract is invisible to the type
+// checker and decays one convenient fmt.Sprintf at a time, so functions
+// on the contract carry a //flatvet:hotpath <why> marker and the
+// analyzer flags the allocation shapes that break it:
+//
+//   - any call into package fmt (formatting allocates; error paths that
+//     genuinely want fmt carry a //flatvet:alloc waiver),
+//   - map and slice composite literals,
+//   - append growth into a slice declared without capacity in the same
+//     function (`var s []T`, `make([]T, 0)`, `[]T{}`) — pooled backing
+//     (`x[:0]`) and capacity-sized make are the accepted shapes,
+//   - function literals inside loops (a closure that captures loop
+//     state allocates per iteration), and
+//   - call arguments boxed into interface parameters.
+//
+// The marker syntax is the ordinary directive grammar, so a reasonless
+// //flatvet:hotpath is reported as malformed by the suite, and the
+// mandatory reason documents why the function is hot. Findings are
+// waivable with //flatvet:alloc <reason>.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"flattree/internal/analysis"
+)
+
+// Marker is the directive rule name that puts a function under this
+// analyzer's contract.
+const Marker = "hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "hotalloc",
+	Doc:       "flags allocation (fmt, literals, un-presized append, per-iteration closures, interface boxing) in //flatvet:hotpath functions",
+	Directive: "alloc",
+	Scope:     nil, // any package may mark a hot path
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var pos = n
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			if _, hot := pass.Waivers.Waived(Marker, pos.Pos()); !hot {
+				return true
+			}
+			checkHot(pass, body)
+			return false // the whole literal/declaration is covered
+		})
+	}
+	return nil
+}
+
+func checkHot(pass *analysis.Pass, body *ast.BlockStmt) {
+	unpresized := unpresizedSlices(pass, body)
+
+	analysis.WalkStack(body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pkg, name, ok := analysis.PkgFuncCall(pass.TypesInfo, n); ok && pkg == "fmt" {
+				pass.Reportf(n.Pos(), "fmt.%s allocates in hot path; move formatting off the hot path or add //flatvet:alloc <reason>", name)
+				return
+			}
+			checkAppendGrowth(pass, n, unpresized)
+			checkBoxing(pass, n)
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in hot path; hoist it to setup or pooled state (or add //flatvet:alloc <reason>)")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in hot path; hoist it to setup or pooled state (or add //flatvet:alloc <reason>)")
+			}
+		case *ast.FuncLit:
+			if loopDepth(stack) > 0 {
+				pass.Reportf(n.Pos(), "closure inside a loop allocates per iteration in hot path; hoist it (or add //flatvet:alloc <reason>)")
+			}
+		}
+	})
+}
+
+// unpresizedSlices collects the local slice variables declared without
+// any capacity: `var s []T`, `s := make([]T, 0)` (no capacity
+// argument), and `s := []T{}`. Reslices of pooled arrays (`x[:0]`) and
+// make-with-capacity do not qualify.
+func unpresizedSlices(pass *analysis.Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	mark := func(name *ast.Ident, isSlice, presized bool) {
+		if !isSlice || presized || name.Name == "_" {
+			return
+		}
+		if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+			out[v] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" {
+				return true
+			}
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				t := pass.TypesInfo.TypeOf(n.Rhs[i])
+				if t == nil {
+					continue
+				}
+				_, isSlice := t.Underlying().(*types.Slice)
+				mark(id, isSlice, presizedExpr(pass, n.Rhs[i]))
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) > 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+							out[v] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// presizedExpr reports whether the declaring expression carries
+// capacity: a reslice, a make with an explicit capacity, or anything
+// opaque (a call result, an index into pooled state) that the analyzer
+// gives the benefit of the doubt.
+func presizedExpr(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.CompositeLit:
+		return false
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+				return len(e.Args) >= 3
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// checkAppendGrowth flags `s = append(s, ...)` when s is a local slice
+// declared without capacity.
+func checkAppendGrowth(pass *analysis.Pass, call *ast.CallExpr, unpresized map[*types.Var]bool) {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := pass.TypesInfo.Uses[dst].(*types.Var)
+	if !ok || !unpresized[v] {
+		return
+	}
+	pass.Reportf(call.Pos(), "append grows un-presized slice %s in hot path; presize it (make with capacity) or reuse pooled backing (or add //flatvet:alloc <reason>)", dst.Name)
+}
+
+// checkBoxing flags call arguments converted to interface parameter
+// types: the conversion heap-allocates the boxed value.
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr) {
+	if pkg, _, ok := analysis.PkgFuncCall(pass.TypesInfo, call); ok && pkg == "fmt" {
+		return // already flagged wholesale
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if bt, ok := at.(*types.Basic); ok && bt.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into interface %s in hot path; avoid the conversion (or add //flatvet:alloc <reason>)", at.String(), pt.String())
+	}
+}
+
+// loopDepth counts the for/range statements in stack.
+func loopDepth(stack []ast.Node) int {
+	d := 0
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			d++
+		}
+	}
+	return d
+}

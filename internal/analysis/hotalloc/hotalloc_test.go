@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"flattree/internal/analysis/anatest"
+	"flattree/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	anatest.Run(t, "testdata", hotalloc.Analyzer)
+}

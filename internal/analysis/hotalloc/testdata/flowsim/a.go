@@ -1,0 +1,51 @@
+package flowsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+type state struct {
+	scratch []int32
+}
+
+//flatvet:hotpath testdata: allocation-round stand-in
+func (s *state) hot(n int) []int32 {
+	out := s.scratch[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, int32(i)) // ok: pooled backing via reslice
+	}
+	buf := make([]int, 0, n)
+	buf = append(buf, n) // ok: presized make
+	var grow []int
+	grow = append(grow, len(buf)) // want `append grows un-presized slice grow in hot path`
+	m := map[int]int{}            // want `map literal allocates in hot path`
+	lit := []int{1, 2}            // want `slice literal allocates in hot path`
+	msg := fmt.Sprintf("%d", n)   // want `fmt.Sprintf allocates in hot path`
+	_, _, _ = m, lit, msg
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] }) // want `argument boxes \[\]int32 into interface any in hot path`
+	for i := 0; i < n; i++ {
+		f := func() int { return i } // want `closure inside a loop allocates per iteration in hot path`
+		grow[0] = f()
+	}
+	return out
+}
+
+func cold(n int) string {
+	return fmt.Sprintf("%d", n) // ok: unmarked function
+}
+
+//flatvet:hotpath testdata: waiver case
+func waivedHot(n int) string {
+	//flatvet:alloc testdata: error-path formatting, cold in practice
+	return fmt.Sprintf("%d", n)
+}
+
+func maker() func() {
+	//flatvet:hotpath testdata: marked function literal
+	emit := func(n int) string {
+		return fmt.Sprint(n) // want `fmt.Sprint allocates in hot path`
+	}
+	emit(1)
+	return func() {}
+}

@@ -25,6 +25,9 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"sync"
+
+	"flattree/internal/parallel"
 )
 
 // Package is one type-checked target package.
@@ -37,6 +40,9 @@ type Package struct {
 	Types      *types.Package
 	Info       *types.Info
 	TypeErrors []error // soft type errors (empty on a healthy tree)
+
+	summaryOnce sync.Once
+	summary     *Summary // lazy per-function facts, see summary.go
 }
 
 // listPkg is the subset of `go list -json` output load consumes.
@@ -94,10 +100,16 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 
 	fset := token.NewFileSet()
-	// One shared importer: the module has no vendor directory, so source
-	// import paths equal canonical paths and per-package ImportMaps are
-	// only consulted as an override.
+	// The module has no vendor directory, so source import paths equal
+	// canonical paths and per-package ImportMaps are only consulted as an
+	// override. The combined map is built up front (read-only afterwards)
+	// so the lookup hook is safe to share across importers.
 	importMaps := make([]map[string]string, 0, len(targets))
+	for _, t := range targets {
+		if len(t.ImportMap) > 0 {
+			importMaps = append(importMaps, t.ImportMap)
+		}
+	}
 	lookup := func(path string) (io.ReadCloser, error) {
 		for _, m := range importMaps {
 			if mapped, ok := m[path]; ok {
@@ -111,21 +123,35 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		return os.Open(exp)
 	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
 
+	// Parse and type-check the targets on the shared worker pool. The
+	// FileSet synchronizes internally; type-checker instances do not, so
+	// each concurrent task borrows a whole importer (with its private
+	// export-data cache) from a pool sized to the worker count. Results
+	// land by index and are sorted by import path afterwards, so output
+	// order is identical for any worker count, and a failure reports the
+	// lowest-index error exactly as the serial loop did.
+	pool := parallel.Default()
+	imps := make(chan types.Importer, pool.Workers())
+	for i := 0; i < pool.Workers(); i++ {
+		imps <- importer.ForCompiler(fset, "gc", lookup)
+	}
+	checked, err := parallel.Map(pool, len(targets), func(i int) (*Package, error) {
+		if len(targets[i].GoFiles) == 0 {
+			return nil, nil
+		}
+		imp := <-imps
+		defer func() { imps <- imp }()
+		return check(fset, imp, targets[i])
+	})
+	if err != nil {
+		return nil, err
+	}
 	var pkgs []*Package
-	for _, t := range targets {
-		if len(t.GoFiles) == 0 {
-			continue
+	for _, pkg := range checked {
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
 		}
-		if len(t.ImportMap) > 0 {
-			importMaps = append(importMaps, t.ImportMap)
-		}
-		pkg, err := check(fset, imp, t)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, pkg)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
 	return pkgs, nil

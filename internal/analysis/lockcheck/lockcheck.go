@@ -1,0 +1,295 @@
+// Package lockcheck enforces the service daemon's lock discipline.
+//
+// flatd's entire live state sits behind one RWMutex, and the daemon's
+// latency contract is that the lock is held only for in-memory work: a
+// network write or a sleep under the lock stalls every other request,
+// and a write to guarded state outside the lock is a data race the race
+// detector only catches when two requests actually collide. The
+// analyzer mechanizes three rules inside its scope packages:
+//
+//  1. No potentially-blocking operation — network I/O, time.Sleep,
+//     bare channel operations, selects without default — may appear in
+//     a lock region, directly or through an intra-package call chain
+//     (the loader's per-function summary provides callee facts).
+//  2. No function that (transitively) re-acquires the same mutex may be
+//     called in one of its lock regions — the self-deadlock shape,
+//     which for an RWMutex includes RLock under RLock.
+//  3. Fields declared below a sync.Mutex/sync.RWMutex field in a struct
+//     are guarded by it (the standard Go convention); writes to them
+//     must happen in a write-lock region of that mutex.
+//
+// A lock region is lexical: from an acquire call to the first matching
+// release below it, or to the end of the function for deferred
+// releases. Early-unlock-and-return branches confuse a lexical model,
+// so code that needs them should move the locked section into a helper
+// that defers the release — the shape rule 1 pushes handlers toward
+// anyway. Findings are waivable with //flatvet:locked <reason>.
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"flattree/internal/analysis"
+	"flattree/internal/analysis/load"
+)
+
+// Packages is the final-segment scope: the resident daemon's state and
+// entry point.
+var Packages = []string{"service", "flatd"}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockcheck",
+	Doc:       "forbids blocking calls and re-acquisition under the service RWMutex, and guarded-field writes outside it",
+	Directive: "locked",
+	Scope:     analysis.SegmentScope(Packages...),
+	Run:       run,
+}
+
+// region is one lexical lock region of a function body.
+type region struct {
+	mu    *types.Var
+	write bool
+	from  token.Pos
+	to    token.Pos // function end for deferred releases
+}
+
+func (r region) contains(p token.Pos) bool { return r.from <= p && p < r.to }
+
+func run(pass *analysis.Pass) error {
+	sum := pass.Loaded.Summary()
+	guards := guardedFields(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkBody(pass, sum, guards, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody applies the three rules to one function or literal body.
+// Nested literals are skipped here (each gets its own checkBody visit)
+// because a closure's body does not execute at its build site.
+func checkBody(pass *analysis.Pass, sum *load.Summary, guards map[*types.Var]*types.Var, body *ast.BlockStmt) {
+	regions := lockRegions(pass.TypesInfo, body)
+
+	under := func(p token.Pos) *region {
+		for i := range regions {
+			if regions[i].contains(p) {
+				return &regions[i]
+			}
+		}
+		return nil
+	}
+	underWrite := func(p token.Pos, mu *types.Var) bool {
+		for i := range regions {
+			if regions[i].write && regions[i].mu == mu && regions[i].contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Rule 1, direct operations.
+	for _, op := range load.BlockingOps(pass.TypesInfo, body) {
+		if r := under(op.Pos); r != nil {
+			pass.Reportf(op.Pos, "%s while %s is held; release the lock first (or waive //flatvet:locked <reason>)",
+				op.What, mutexName(r.mu))
+		}
+	}
+
+	// Rules 1 (transitive) and 2: intra-package calls made in a region.
+	walkSkipFuncLits(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		r := under(call.Pos())
+		if r == nil {
+			return
+		}
+		callee := load.StaticCallee(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() != pass.Pkg {
+			return
+		}
+		if sum.AcquiresVia(callee, r.mu) {
+			pass.Reportf(call.Pos(), "call to %s re-acquires %s already held here: deadlock", callee.Name(), mutexName(r.mu))
+			return
+		}
+		if chain, op, ok := sum.BlocksVia(callee); ok {
+			pass.Reportf(call.Pos(), "call to %s blocks (%s%s) while %s is held; release the lock first (or waive //flatvet:locked <reason>)",
+				callee.Name(), op.What, chainSuffix(chain), mutexName(r.mu))
+		}
+	})
+
+	// Rule 3: guarded-field writes need the write lock.
+	if len(guards) > 0 {
+		walkSkipFuncLits(body, func(n ast.Node) {
+			for _, lhs := range writeTargets(n) {
+				fld := fieldVar(pass.TypesInfo, lhs)
+				if fld == nil {
+					continue
+				}
+				mu, guarded := guards[fld]
+				if !guarded {
+					continue
+				}
+				if underWrite(lhs.Pos(), mu) {
+					continue
+				}
+				if under(lhs.Pos()) != nil {
+					pass.Reportf(lhs.Pos(), "write to %s-guarded field %s while holding only the read lock", mutexName(mu), fld.Name())
+				} else {
+					pass.Reportf(lhs.Pos(), "write to %s-guarded field %s outside any lock region; hold %s.Lock (or waive //flatvet:locked <reason>)",
+						mutexName(mu), fld.Name(), mutexName(mu))
+				}
+			}
+		})
+	}
+}
+
+// lockRegions builds the body's lexical lock regions from its mutex
+// operations: each acquire opens a region closed by the first matching
+// (same mutex, same read/write class) release after it, or by the end
+// of the body when the release is deferred or missing.
+func lockRegions(info *types.Info, body *ast.BlockStmt) []region {
+	ops := load.MutexOps(info, body)
+	var regions []region
+	for i, op := range ops {
+		if !op.Acquire {
+			continue
+		}
+		to := body.End()
+		for _, rel := range ops[i+1:] {
+			if rel.Acquire || rel.Mutex != op.Mutex || rel.Write != op.Write {
+				continue
+			}
+			if rel.Deferred {
+				break // runs at return: region spans to the end
+			}
+			to = rel.Pos
+			break
+		}
+		regions = append(regions, region{mu: op.Mutex, write: op.Write, from: op.Pos, to: to})
+	}
+	return regions
+}
+
+// guardedFields maps each struct field declared below a mutex field to
+// that mutex, for every struct type declared in the package.
+func guardedFields(pass *analysis.Pass) map[*types.Var]*types.Var {
+	guards := map[*types.Var]*types.Var{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var mu *types.Var
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if isMutexType(v.Type()) {
+						mu = v
+						continue
+					}
+					if mu != nil {
+						guards[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// writeTargets returns the expressions n writes to: assignment LHS
+// (plain and op-assign) and inc/dec operands.
+func writeTargets(n ast.Node) []ast.Expr {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return n.Lhs
+	case *ast.IncDecStmt:
+		return []ast.Expr{n.X}
+	}
+	return nil
+}
+
+// fieldVar resolves expr to the struct field it names (s.events), or nil
+// for locals, indexes, and dereferences of other shapes.
+func fieldVar(info *types.Info, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+func mutexName(mu *types.Var) string {
+	return mu.Name()
+}
+
+// chainSuffix renders the call chain beyond its first hop, so a
+// transitive finding names the path to the blocking operation.
+func chainSuffix(chain []*types.Func) string {
+	if len(chain) <= 1 {
+		return ""
+	}
+	s := ""
+	for _, f := range chain[1:] {
+		s += " -> " + f.Name()
+	}
+	return fmt.Sprintf(" via%s", s)
+}
+
+// walkSkipFuncLits visits body's nodes without descending into nested
+// function literals.
+func walkSkipFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		fn(n)
+		return true
+	})
+}

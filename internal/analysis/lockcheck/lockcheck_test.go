@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"flattree/internal/analysis/anatest"
+	"flattree/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	anatest.Run(t, "testdata", lockcheck.Analyzer)
+}

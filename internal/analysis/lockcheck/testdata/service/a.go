@@ -1,0 +1,93 @@
+package service
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type server struct {
+	cfg int // declared above the mutex: unguarded
+
+	mu     sync.RWMutex
+	state  int
+	events int64
+}
+
+func (s *server) blockUnderRead(w http.ResponseWriter) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w.Write(nil) // want `net/http Write while mu is held`
+}
+
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while mu is held`
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // ok: after the release
+}
+
+func (s *server) chanUnderLock(c chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-c      // want `channel receive while mu is held`
+	select { // want `select without default while mu is held`
+	case v := <-c:
+		s.state = v
+	}
+	select {
+	case v := <-c:
+		s.state = v
+	default:
+	}
+}
+
+func (s *server) writeResp(w http.ResponseWriter) {
+	w.Write(nil) // ok: no lock held in this function
+}
+
+func (s *server) transitive(w http.ResponseWriter) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.writeResp(w) // want `call to writeResp blocks \(net/http Write\) while mu is held`
+}
+
+func (s *server) locked() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.state
+}
+
+func (s *server) deadlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = int64(s.locked()) // want `call to locked re-acquires mu already held here: deadlock`
+}
+
+func (s *server) writeUnlocked() {
+	s.state = 1 // want `write to mu-guarded field state outside any lock region`
+}
+
+func (s *server) writeUnderRead() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.events++ // want `write to mu-guarded field events while holding only the read lock`
+}
+
+func (s *server) writeLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = 2 // ok: write lock held
+	s.events++
+}
+
+func (s *server) setCfg() {
+	s.cfg = 1 // ok: cfg is declared above the mutex
+}
+
+func (s *server) waived() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//flatvet:locked testdata: exercising the waiver path
+	time.Sleep(time.Millisecond)
+}

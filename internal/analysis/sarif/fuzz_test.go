@@ -1,0 +1,42 @@
+package sarif
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip pins the canonical-form property the CI artifact relies
+// on: any input Decode accepts re-encodes to a canonical byte string
+// that decodes again and re-encodes to the SAME bytes — decode∘encode
+// is a fixpoint after one normalization pass, exactly like the recorder
+// journal. Arbitrary field order, whitespace, and unknown properties in
+// the input are allowed to normalize away; the normal form itself is
+// not allowed to drift.
+func FuzzRoundTrip(f *testing.F) {
+	if enc, err := Encode(sample()); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte(`{"$schema":"s","version":"2.1.0","runs":[]}`))
+	f.Add([]byte(`{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"flatvet","rules":[]}},"results":[{"ruleId":"r","level":"warning","message":{"text":"m"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"a.go"},"region":{"startLine":1}}}]}]}],"unknown":true}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; crashing is not
+		}
+		enc1, err := Encode(l)
+		if err != nil {
+			t.Fatalf("decoded log failed to encode: %v", err)
+		}
+		l2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("canonical form rejected by decoder: %v\n%q", err, enc1)
+		}
+		enc2, err := Encode(l2)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical form is not a fixpoint:\nenc1: %q\nenc2: %q", enc1, enc2)
+		}
+	})
+}

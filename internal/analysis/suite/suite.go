@@ -12,14 +12,21 @@ import (
 	"fmt"
 	"go/token"
 	"io"
+	"path"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"flattree/internal/analysis"
+	"flattree/internal/analysis/ctxflow"
 	"flattree/internal/analysis/directive"
+	"flattree/internal/analysis/errdrop"
 	"flattree/internal/analysis/floatsum"
+	"flattree/internal/analysis/hotalloc"
 	"flattree/internal/analysis/load"
+	"flattree/internal/analysis/lockcheck"
 	"flattree/internal/analysis/maporder"
+	"flattree/internal/analysis/sarif"
 	"flattree/internal/analysis/seededrand"
 	"flattree/internal/analysis/simclock"
 	"flattree/internal/analysis/spanend"
@@ -33,7 +40,26 @@ func Analyzers() []*analysis.Analyzer {
 		seededrand.Analyzer,
 		simclock.Analyzer,
 		spanend.Analyzer,
+		lockcheck.Analyzer,
+		ctxflow.Analyzer,
+		errdrop.Analyzer,
+		hotalloc.Analyzer,
 	}
+}
+
+// KnownRules returns, sorted, every directive rule name the suite
+// accepts: each analyzer's waiver rule plus hotalloc's hotpath marker,
+// which waives nothing but puts a function under contract.
+func KnownRules() []string {
+	var rules []string
+	for _, a := range Analyzers() {
+		if a.Directive != "" {
+			rules = append(rules, a.Directive)
+		}
+	}
+	rules = append(rules, hotalloc.Marker)
+	sort.Strings(rules)
+	return rules
 }
 
 // Diag is one finding, attributed to the analyzer that produced it.
@@ -44,24 +70,44 @@ type Diag struct {
 	Message  string
 }
 
+// Options narrows a Run.
+type Options struct {
+	// Only, when non-empty, restricts analysis to packages whose final
+	// import-path segment is listed (the same matching rule analyzer
+	// scopes use). Loading still covers the full pattern set so
+	// cross-package facts stay complete.
+	Only []string
+}
+
 // Run loads patterns (default ./...) rooted at dir and applies every
 // analyzer, returning findings sorted by position. Type errors in the
 // tree are a hard error: analysis over a broken tree reports nonsense.
 func Run(dir string, patterns ...string) ([]Diag, error) {
+	return RunOpts(dir, Options{}, patterns...)
+}
+
+// RunOpts is Run with an Options filter.
+func RunOpts(dir string, opts Options, patterns ...string) ([]Diag, error) {
 	pkgs, err := load.Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
-	known := make(map[string]bool)
-	for _, a := range Analyzers() {
-		if a.Directive != "" {
-			known[a.Directive] = true
-		}
+	only := make(map[string]bool, len(opts.Only))
+	for _, p := range opts.Only {
+		only[p] = true
 	}
+	known := make(map[string]bool)
+	for _, r := range KnownRules() {
+		known[r] = true
+	}
+	knownList := strings.Join(KnownRules(), ", ")
 	var diags []Diag
 	for _, pkg := range pkgs {
 		if len(pkg.TypeErrors) > 0 {
 			return nil, fmt.Errorf("%s does not type-check: %v", pkg.ImportPath, pkg.TypeErrors[0])
+		}
+		if len(only) > 0 && !only[path.Base(pkg.ImportPath)] {
+			continue
 		}
 		ix := directive.NewIndex(pkg.Fset, pkg.Files)
 		for _, m := range ix.Malformed() {
@@ -72,7 +118,7 @@ func Run(dir string, patterns ...string) ([]Diag, error) {
 				diags = append(diags, Diag{
 					Position: pkg.Fset.Position(e.Pos),
 					Analyzer: "flatvet",
-					Message:  fmt.Sprintf("unknown waiver rule %q (known: ordered, rand, clock, span)", e.D.Name),
+					Message:  fmt.Sprintf("unknown waiver rule %q (known: %s)", e.D.Name, knownList),
 				})
 			}
 		}
@@ -109,10 +155,44 @@ func Run(dir string, patterns ...string) ([]Diag, error) {
 // message", with paths relative to base when possible.
 func Format(w io.Writer, base string, diags []Diag) {
 	for _, d := range diags {
-		name := d.Position.Filename
-		if rel, err := filepath.Rel(base, name); err == nil && !filepath.IsAbs(rel) {
-			name = filepath.ToSlash(rel)
-		}
-		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", relPath(base, d.Position.Filename), d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
 	}
+}
+
+// ToSARIF converts diags into a single-run SARIF log whose driver
+// declares every suite analyzer (plus the directive-syntax pseudo-rule
+// "flatvet") and whose artifact URIs are relative to base when
+// possible. The output is deterministic: rules sorted by ID, results
+// in the order Run produced them (already position-sorted).
+func ToSARIF(base string, diags []Diag) sarif.Log {
+	rules := []sarif.Rule{{
+		ID:               "flatvet",
+		ShortDescription: sarif.Message{Text: "//flatvet:<rule> <reason> waiver-directive syntax"},
+	}}
+	for _, a := range Analyzers() {
+		rules = append(rules, sarif.Rule{ID: a.Name, ShortDescription: sarif.Message{Text: a.Doc}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	results := make([]sarif.Result, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarif.Result{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarif.Message{Text: d.Message},
+			Locations: []sarif.Location{{PhysicalLocation: sarif.PhysicalLocation{
+				ArtifactLocation: sarif.ArtifactLocation{URI: relPath(base, d.Position.Filename)},
+				Region:           sarif.Region{StartLine: d.Position.Line, StartColumn: d.Position.Column},
+			}}},
+		})
+	}
+	return sarif.New(sarif.Driver{Name: "flatvet", Rules: rules}, results)
+}
+
+// relPath renders name relative to base (slash-separated) when that
+// stays inside base, and verbatim otherwise.
+func relPath(base, name string) string {
+	if rel, err := filepath.Rel(base, name); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return name
 }

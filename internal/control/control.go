@@ -276,7 +276,9 @@ func (c *Controller) ConvertPods(modes []core.Mode) (*ConversionReport, error) {
 		// Roll back: the requested modes partition under the recorded
 		// failures; restore the previous configuration.
 		for pod, m := range from {
-			_ = c.nw.SetPodMode(pod, m)
+			if rerr := c.nw.SetPodMode(pod, m); rerr != nil {
+				return nil, fmt.Errorf("control: conversion failed (%v) and rollback of pod %d failed (%v)", err, pod, rerr)
+			}
 		}
 		if rerr := c.reinstall(); rerr != nil {
 			return nil, fmt.Errorf("control: conversion failed (%v) and rollback failed (%v)", err, rerr)

@@ -166,6 +166,8 @@ func memLess(x, y member) bool {
 // (id, sf). Upper-bound insertion keeps equal keys (duplicate links in
 // one path) in occurrence order, matching the reference's per-path
 // decrement order.
+//
+//flatvet:hotpath runs once per link occurrence of every admitted connection
 func (a *allocState) insertMember(l int32, m member) {
 	if !a.inMem[l] {
 		a.inMem[l] = true
@@ -198,6 +200,8 @@ func (a *allocState) insertMember(l int32, m member) {
 // removeMember deletes the first occurrence equal to (id, sf) from l's
 // membership. The link stays on memLinks until the next allocate sweeps
 // it out.
+//
+//flatvet:hotpath runs once per link occurrence of every retired connection
 func (a *allocState) removeMember(l, id, sf int32) {
 	mem := a.members[l]
 	m := member{id: id, sf: sf}
@@ -283,6 +287,8 @@ func (a *allocState) admit(slot, id int, weight float64, paths [][]int) error {
 
 // retire removes connection id's memberships and empties its slot. The
 // slot keeps its reserved ranges for reuse by a later admit.
+//
+//flatvet:hotpath streaming retire path, once per finished flow in 10M-flow runs
 func (a *allocState) retire(slot, id int) {
 	off, cnt := a.subOff[slot], a.subCnt[slot]
 	for j := int32(0); j < cnt; j++ {
@@ -306,6 +312,8 @@ func (a *allocState) setPaths(slot, id int, weight float64, paths [][]int) error
 // external ID — the order that fixes every float accumulation. Rates are
 // read back per slot with rate(); per-subflow values stay in sfRate
 // (loopback subflows excluded — they are the caller's localRate).
+//
+//flatvet:hotpath the allocation round; steady state must not allocate
 func (a *allocState) allocate(run []int32) {
 	a.epoch++
 	ep := a.epoch
@@ -583,6 +591,8 @@ func (a *allocState) shardedDrain(loaded []int32, best float64, sat []int32) []i
 
 // rate sums slot's subflow rates in path order — the accumulation order
 // ConnRates used — granting loopback subflows localRate.
+//
+//flatvet:hotpath rate readback after every allocation round
 func (a *allocState) rate(slot int, localRate float64) float64 {
 	off, cnt := a.subOff[slot], a.subCnt[slot]
 	r := 0.0

@@ -115,6 +115,8 @@ func (s *Sim) RunStream(next func() (ConnSpec, bool), sink func(id int, res Conn
 
 	// emit delivers one finished (or flushed) connection to the caller,
 	// observing stall time exactly once per connection as finish() does.
+	//
+	//flatvet:hotpath streaming emit path, once per finished flow
 	emit := func(id int, slot int32) {
 		if res[slot].StallTime > 0 {
 			stallHist.Observe(res[slot].StallTime)
@@ -128,6 +130,7 @@ func (s *Sim) RunStream(next func() (ConnSpec, bool), sink func(id int, res Conn
 			emit(id, activeSlots[i])
 		}
 	}
+	//flatvet:hotpath stall bookkeeping runs inside the event loop
 	stall := func(slot int32, id int, now float64) {
 		if stalled[slot] {
 			return

@@ -129,9 +129,16 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
+	writeJSON(w, http.StatusOK, s.snapshotTopology())
+}
+
+// snapshotTopology copies the identity/health view under the read lock
+// so the handler writes the response with the lock already released: a
+// slow client must not hold up the daemon's write lock (lockcheck).
+func (s *Server) snapshotTopology() topologyResponse {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	resp := topologyResponse{
+	return topologyResponse{
 		Name:          s.topo.Name,
 		Fingerprint:   s.fp,
 		K:             s.cfg.K,
@@ -142,7 +149,6 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 		FailedLinks:   s.failedLinksLocked(),
 		DegradedPairs: s.inc.DegradedPairs(),
 	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 // routePath is one path in a GET /routes body.
@@ -166,6 +172,19 @@ func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	out := s.lookupRoutes(src, dst)
+	writeJSON(w, http.StatusOK, struct {
+		Src       int         `json:"src"`
+		Dst       int         `json:"dst"`
+		K         int         `json:"k"`
+		Reachable bool        `json:"reachable"`
+		Paths     []routePath `json:"paths"`
+	}{Src: src, Dst: dst, K: s.cfg.K, Reachable: len(out) > 0, Paths: out})
+}
+
+// lookupRoutes runs the k-shortest lookup under the read lock and
+// copies the result out, so the response write happens unlocked.
+func (s *Server) lookupRoutes(src, dst int) []routePath {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	paths := s.inc.View().ServerPaths(src, dst)
@@ -176,13 +195,7 @@ func (s *Server) handleRoutes(w http.ResponseWriter, r *http.Request) {
 	for i, p := range paths {
 		out[i] = routePath{Nodes: p.Nodes, Links: p.Links}
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Src       int         `json:"src"`
-		Dst       int         `json:"dst"`
-		K         int         `json:"k"`
-		Reachable bool        `json:"reachable"`
-		Paths     []routePath `json:"paths"`
-	}{Src: src, Dst: dst, K: s.cfg.K, Reachable: len(out) > 0, Paths: out})
+	return out
 }
 
 // serverParam parses a query parameter as a server node ID.
@@ -322,6 +335,20 @@ func (s *Server) handleLinkEvent(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "action %q must be \"fail\" or \"repair\"", req.Action)
 		return
 	}
+	resp, err := s.applyLinkEvent(req)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// applyLinkEvent mutates the incremental table and bookkeeping under
+// the write lock and returns a fully copied response, so the handler
+// writes to the client with the lock already released: a stalled
+// client connection must not serialize every other request behind the
+// daemon's one write lock (lockcheck).
+func (s *Server) applyLinkEvent(req linkEventRequest) (linkEventResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var (
@@ -335,8 +362,7 @@ func (s *Server) handleLinkEvent(w http.ResponseWriter, r *http.Request) {
 		link, delta, err = s.inc.RepairBetween(req.A, req.B)
 	}
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
+		return linkEventResponse{}, err
 	}
 	if req.Action == "fail" {
 		s.failed[link] = [2]int{req.A, req.B}
@@ -346,7 +372,7 @@ func (s *Server) handleLinkEvent(w http.ResponseWriter, r *http.Request) {
 	s.events++
 	reaction := churn.ReactionTime(s.cfg.Detection, delta, s.cfg.Delay)
 	s.reg.Counter("flatd_link_events_total", "action", req.Action).Inc()
-	writeJSON(w, http.StatusOK, linkEventResponse{
+	return linkEventResponse{
 		Action:          req.Action,
 		A:               req.A,
 		B:               req.B,
@@ -357,7 +383,7 @@ func (s *Server) handleLinkEvent(w http.ResponseWriter, r *http.Request) {
 		RuleDelta:       sortedDelta(delta),
 		FailedLinks:     s.failedLinksLocked(),
 		DegradedPairs:   s.inc.DegradedPairs(),
-	})
+	}, nil
 }
 
 // GET /metrics — Prometheus text exposition of the daemon's registry.

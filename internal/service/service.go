@@ -150,6 +150,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		//flatvet:ctx the drain deadline must outlive the cancelled serve context
 		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
 		err := hs.Shutdown(drainCtx)
